@@ -1,0 +1,48 @@
+//! E1 (§3.1 storage analysis): document load cost under the packed scheme at
+//! several packing factors vs the one-node-per-row baseline. The *size*
+//! columns of E1 are printed by the `report` binary; this bench measures the
+//! time to build each representation (parse + store + index).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rx_bench::{mem_db, shredded_store};
+use rx_engine::db::{ColValue, ColumnKind};
+use rx_gen::{catalog_xml, CatalogSpec};
+use rx_xml::Parser;
+
+fn bench_storage(c: &mut Criterion) {
+    let doc = catalog_xml(&CatalogSpec {
+        products: 500,
+        categories: 5,
+        description_len: 48,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("e1_storage_load");
+    g.sample_size(10);
+    for target in [512usize, 1024, 3500] {
+        g.bench_with_input(
+            BenchmarkId::new("packed", target),
+            &target,
+            |b, &target| {
+                b.iter(|| {
+                    let db = mem_db(target);
+                    let t = db.create_table("t", &[("doc", ColumnKind::Xml)]).unwrap();
+                    db.insert_row(&t, &[ColValue::Xml(doc.clone())]).unwrap();
+                });
+            },
+        );
+    }
+    g.bench_function("one_node_per_row", |b| {
+        b.iter(|| {
+            let (shred, dict) = shredded_store();
+            shred
+                .insert_document(1, |sink| {
+                    Parser::new(&dict).parse(&doc, sink).map_err(Into::into)
+                })
+                .unwrap();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

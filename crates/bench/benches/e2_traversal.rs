@@ -1,0 +1,53 @@
+//! E2 (§3.1 traversal analysis): full document-order traversal of a stored
+//! document — packed records at several packing factors vs the per-node-join
+//! traversal of the shredded baseline. The paper predicts a ≈1/p time ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rx_bench::{mem_db, shredded_store};
+use rx_engine::db::{ColValue, ColumnKind};
+use rx_engine::traverse::{DropIds, Traverser};
+use rx_gen::{catalog_xml, CatalogSpec};
+use rx_xml::{Parser, Serializer};
+
+fn bench_traversal(c: &mut Criterion) {
+    let doc = catalog_xml(&CatalogSpec {
+        products: 500,
+        categories: 5,
+        description_len: 48,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("e2_traversal");
+    g.sample_size(20);
+    for target in [512usize, 3500] {
+        let db = mem_db(target);
+        let t = db.create_table("t", &[("doc", ColumnKind::Xml)]).unwrap();
+        db.insert_row(&t, &[ColValue::Xml(doc.clone())]).unwrap();
+        let col = std::sync::Arc::clone(t.xml_column("doc").unwrap());
+        let dict = std::sync::Arc::clone(db.dict());
+        g.bench_with_input(BenchmarkId::new("packed", target), &target, |b, _| {
+            b.iter(|| {
+                let mut ser = Serializer::new(&dict);
+                let mut sink = DropIds(&mut ser);
+                Traverser::new(col.xml_table(), 1).run(&mut sink).unwrap();
+                std::hint::black_box(ser.finish().len());
+            });
+        });
+    }
+    let (shred, dict) = shredded_store();
+    shred
+        .insert_document(1, |sink| {
+            Parser::new(&dict).parse(&doc, sink).map_err(Into::into)
+        })
+        .unwrap();
+    g.bench_function("one_node_per_row", |b| {
+        b.iter(|| {
+            let mut ser = Serializer::new(&dict);
+            shred.traverse(1, &mut ser).unwrap();
+            std::hint::black_box(ser.finish().len());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_traversal);
+criterion_main!(benches);

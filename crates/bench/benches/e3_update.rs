@@ -1,0 +1,83 @@
+//! E3 (§3.1 update analysis): single-text-node update cost — packed record
+//! rewrite (~p·n bytes) vs one-row rewrite (n bytes) vs LOB whole-document
+//! rewrite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rx_bench::{lob_store, mem_db, shredded_store};
+use rx_engine::db::{ColValue, ColumnKind};
+use rx_engine::{access, update};
+use rx_gen::{catalog_xml, CatalogSpec};
+use rx_xml::Parser;
+use rx_xpath::XPathParser;
+
+fn bench_update(c: &mut Criterion) {
+    let doc = catalog_xml(&CatalogSpec {
+        products: 100,
+        categories: 1,
+        description_len: 48,
+        ..Default::default()
+    });
+
+    let mut g = c.benchmark_group("e3_single_node_update");
+    g.sample_size(30);
+
+    let db = mem_db(3500);
+    let t = db.create_table("t", &[("doc", ColumnKind::Xml)]).unwrap();
+    db.insert_row(&t, &[ColValue::Xml(doc.clone())]).unwrap();
+    let col = std::sync::Arc::clone(t.xml_column("doc").unwrap());
+    // ProductName text of the first product, located by query (node IDs
+    // shift with attributes, so never hardcode them).
+    let target = {
+        let path = XPathParser::new()
+            .parse("/Catalog/Categories/Product/ProductName/text()")
+            .unwrap();
+        let (hits, _) = access::execute(
+            &access::AccessPlan::FullScan,
+            &t,
+            &col,
+            db.dict(),
+            &path,
+        )
+        .unwrap();
+        hits[0].node.clone().unwrap()
+    };
+    let mut i = 0u64;
+    g.bench_function("packed", |b| {
+        b.iter(|| {
+            i += 1;
+            let txn = db.begin().unwrap();
+            update::replace_value(&txn, col.xml_table(), 1, &target, &format!("name-{i}"))
+                .unwrap();
+            txn.commit().unwrap();
+        });
+    });
+
+    let (shred, dict) = shredded_store();
+    shred
+        .insert_document(1, |sink| {
+            Parser::new(&dict).parse(&doc, sink).map_err(Into::into)
+        })
+        .unwrap();
+    g.bench_function("one_node_per_row", |b| {
+        b.iter(|| {
+            i += 1;
+            shred.update_value(1, &target, &format!("name-{i}")).unwrap();
+        });
+    });
+
+    let lob = lob_store();
+    lob.insert(1, &doc).unwrap();
+    g.bench_function("lob_rewrite", |b| {
+        b.iter(|| {
+            i += 1;
+            lob.update_via_rewrite(1, |text| {
+                Ok(text.replacen("Product-", &format!("Ren{:03}-", i % 1000), 1))
+            })
+            .unwrap();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_update);
+criterion_main!(benches);

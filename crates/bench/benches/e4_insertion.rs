@@ -1,0 +1,82 @@
+//! E4 (§3.2): parsing/validation interface cost — buffered token stream vs
+//! per-event SAX callbacks vs DOM construction vs the table-driven
+//! validating parse.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rx_gen::{catalog_xml, CatalogSpec};
+use rx_xml::dom::DomTree;
+use rx_xml::sax::{parse_sax, SaxAttribute, SaxHandler};
+use rx_xml::schema::{compile, parse_xsd, validate_to_tokens, SchemaProgram};
+use rx_xml::{NameDict, Parser};
+
+struct Count(u64);
+impl SaxHandler for Count {
+    fn start_element(
+        &mut self,
+        _u: &str,
+        _l: &str,
+        _q: &str,
+        attrs: &[SaxAttribute],
+    ) -> rx_xml::Result<()> {
+        self.0 += 1 + attrs.len() as u64;
+        Ok(())
+    }
+    fn characters(&mut self, t: &str) -> rx_xml::Result<()> {
+        self.0 += t.len() as u64;
+        Ok(())
+    }
+}
+
+fn schema() -> SchemaProgram {
+    let xsd = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Catalog"><xs:complexType><xs:sequence>
+    <xs:element name="Categories" maxOccurs="unbounded"><xs:complexType><xs:sequence>
+      <xs:element name="Product" minOccurs="0" maxOccurs="unbounded"><xs:complexType><xs:sequence>
+        <xs:element name="ProductName" type="xs:string"/>
+        <xs:element name="RegPrice" type="xs:decimal"/>
+        <xs:element name="Discount" type="xs:double"/>
+        <xs:element name="Added" type="xs:date"/>
+        <xs:element name="Description" type="xs:string"/>
+      </xs:sequence><xs:attribute name="id" type="xs:integer"/></xs:complexType></xs:element>
+    </xs:sequence><xs:attribute name="id" type="xs:integer"/></xs:complexType></xs:element>
+  </xs:sequence></xs:complexType></xs:element>
+</xs:schema>"#;
+    SchemaProgram::load(&compile(&parse_xsd(xsd).unwrap()).unwrap()).unwrap()
+}
+
+fn bench_insertion(c: &mut Criterion) {
+    let doc = catalog_xml(&CatalogSpec {
+        products: 500,
+        categories: 5,
+        description_len: 48,
+        ..Default::default()
+    });
+    let dict = NameDict::new();
+    Parser::new(&dict).parse_to_tokens(&doc).unwrap(); // warm dictionary
+    let program = schema();
+
+    let mut g = c.benchmark_group("e4_parsing_interfaces");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    g.bench_function("token_stream", |b| {
+        b.iter(|| std::hint::black_box(Parser::new(&dict).parse_to_tokens(&doc).unwrap()));
+    });
+    g.bench_function("validating_parse", |b| {
+        b.iter(|| std::hint::black_box(validate_to_tokens(&doc, &program, &dict).unwrap()));
+    });
+    g.bench_function("sax_callbacks", |b| {
+        b.iter(|| {
+            let mut h = Count(0);
+            parse_sax(&doc, &dict, &mut h).unwrap();
+            std::hint::black_box(h.0);
+        });
+    });
+    g.bench_function("dom_construction", |b| {
+        b.iter(|| std::hint::black_box(DomTree::parse(&doc, &dict).unwrap().len()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insertion);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E5 (§4.2): QuickXScan — linearity in |D|, evaluation-only cost vs the
+//! DOM baseline, and the Fig. 7 recursive-document workload where the naive
+//! per-instance matcher's state blows up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rx_xml::dom::DomTree;
+use rx_xml::{NameDict, Parser};
+use rx_xpath::baseline::{DomXPath, NaiveStreamMatcher};
+use rx_xpath::quickxscan::scan_str;
+use rx_xpath::{QueryTree, QuickXScan, XPathParser};
+
+fn bench_quickxscan(c: &mut Criterion) {
+    let dict = NameDict::new();
+    let path = XPathParser::new().parse("//item[entry]/leaf").unwrap();
+    let tree = QueryTree::compile(&path).unwrap();
+
+    // Linearity: time per size.
+    let mut g = c.benchmark_group("e5a_linearity");
+    g.sample_size(10);
+    for nodes in [10_000usize, 40_000, 160_000] {
+        let doc = rx_gen::sized_tree(nodes, 4, 16, 7);
+        g.throughput(Throughput::Elements(nodes as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &doc, |b, doc| {
+            b.iter(|| std::hint::black_box(scan_str(&tree, &dict, doc).unwrap().0.len()));
+        });
+    }
+    g.finish();
+
+    // Evaluation-only: QuickXScan over a prebuilt token stream vs DOM eval
+    // over a prebuilt tree.
+    let doc = rx_gen::sized_tree(100_000, 4, 16, 7);
+    let tokens = Parser::new(&dict).parse_to_tokens(&doc).unwrap();
+    let dom = DomTree::parse(&doc, &dict).unwrap();
+    let mut g = c.benchmark_group("e5c_eval_only");
+    g.sample_size(10);
+    g.bench_function("quickxscan_over_tokens", |b| {
+        b.iter(|| {
+            let mut scan = QuickXScan::new(&tree, &dict);
+            tokens.replay(&mut scan).unwrap();
+            std::hint::black_box(scan.finish().unwrap().len());
+        });
+    });
+    g.bench_function("dom_eval", |b| {
+        b.iter(|| std::hint::black_box(DomXPath::new(&tree, &dict).eval(&dom).len()));
+    });
+    g.finish();
+
+    // Fig. 7 recursion workload.
+    let p3 = XPathParser::new().parse("//a//a//a").unwrap();
+    let t3 = QueryTree::compile(&p3).unwrap();
+    let mut g = c.benchmark_group("e5b_recursion_r32");
+    g.sample_size(20);
+    let rec = rx_gen::recursive_doc("a", 32, "x");
+    g.bench_function("quickxscan", |b| {
+        b.iter(|| std::hint::black_box(scan_str(&t3, &dict, &rec).unwrap().0.len()));
+    });
+    g.bench_function("naive_matcher", |b| {
+        b.iter(|| {
+            let mut m = NaiveStreamMatcher::new(&t3, &dict).unwrap();
+            Parser::new(&dict).parse(&rec, &mut m).unwrap();
+            std::hint::black_box(m.finish().0.len());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_quickxscan);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E6 (§4.3, Table 2): query latency per access method — full scan vs exact
+//! DocID list vs filtering vs ANDing/ORing, plus NodeID-granularity access
+//! on one large document.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rx_bench::{load_product_docs, load_single_catalog, mem_db};
+use rx_engine::access::{self, AccessPlan};
+use rx_xpath::XPathParser;
+
+fn bench_access(c: &mut Criterion) {
+    let db = mem_db(3500);
+    let (t, _) = load_product_docs(&db, 1500);
+    let col = std::sync::Arc::clone(t.xml_column("doc").unwrap());
+    let dict = std::sync::Arc::clone(db.dict());
+
+    let cases = [
+        ("scan", "/Catalog/Categories/Product[RegPrice > 450]", true, false),
+        ("docid_exact", "/Catalog/Categories/Product[RegPrice > 450]", false, false),
+        ("docid_filtering", "/Catalog/Categories/Product[Discount > 0.30]", false, false),
+        (
+            "docid_anding",
+            "/Catalog/Categories/Product[RegPrice > 400 and Discount > 0.20]",
+            false,
+            false,
+        ),
+        (
+            "docid_oring",
+            "/Catalog/Categories/Product[RegPrice < 10 or Discount > 0.30]",
+            false,
+            false,
+        ),
+    ];
+    let mut g = c.benchmark_group("e6a_small_documents");
+    g.sample_size(10);
+    for (name, q, force_scan, nodeid) in cases {
+        let path = XPathParser::new().parse(q).unwrap();
+        let plan = if force_scan {
+            AccessPlan::FullScan
+        } else {
+            access::plan(&path, &col, nodeid)
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (hits, _) = access::execute(&plan, &t, &col, &dict, &path).unwrap();
+                std::hint::black_box(hits.len());
+            });
+        });
+    }
+    g.finish();
+
+    let db = mem_db(3500);
+    let (t, _, _) = load_single_catalog(&db, 5000);
+    let col = std::sync::Arc::clone(t.xml_column("doc").unwrap());
+    let dict = std::sync::Arc::clone(db.dict());
+    let path = XPathParser::new()
+        .parse("/Catalog/Categories/Product[RegPrice > 495]")
+        .unwrap();
+    let mut g = c.benchmark_group("e6b_large_document");
+    g.sample_size(10);
+    g.bench_function("scan", |b| {
+        b.iter(|| {
+            let (hits, _) =
+                access::execute(&AccessPlan::FullScan, &t, &col, &dict, &path).unwrap();
+            std::hint::black_box(hits.len());
+        });
+    });
+    let plan = access::plan(&path, &col, true);
+    g.bench_function("nodeid_exact", |b| {
+        b.iter(|| {
+            let (hits, _) = access::execute(&plan, &t, &col, &dict, &path).unwrap();
+            std::hint::black_box(hits.len());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_access);
+criterion_main!(benches);

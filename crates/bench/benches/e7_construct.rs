@@ -1,0 +1,80 @@
+//! E7 (§4.1, Fig. 5): tagging-template constructors vs naive nested
+//! evaluation, and XMLAGG ORDER BY via linked-list quicksort vs a work-file
+//! external sort.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rx_engine::construct::{
+    external_sort_rows, fig5_emp_ctor, naive_construct_string, Constructed, Template, XmlAgg,
+};
+use rx_xml::{NameDict, Serializer};
+use std::sync::Arc;
+
+fn bench_construct(c: &mut Criterion) {
+    let dict = NameDict::new();
+    let ctor = fig5_emp_ctor();
+    let tpl = Template::compile(&ctor, &dict).unwrap();
+    let n = 10_000usize;
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            vec![
+                format!("{i}"),
+                format!("First{i}"),
+                format!("Last{i}"),
+                "2005-06-16".to_string(),
+                format!("Dept{:03}", (i * 7919) % 500),
+            ]
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("e7a_constructor");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("tagging_template", |b| {
+        b.iter(|| {
+            let mut ser = Serializer::new(&dict);
+            for args in &rows {
+                Constructed::new(Arc::clone(&tpl), args.clone())
+                    .unwrap()
+                    .replay(&mut ser)
+                    .unwrap();
+            }
+            std::hint::black_box(ser.finish().len());
+        });
+    });
+    g.bench_function("naive_nested", |b| {
+        b.iter(|| {
+            let mut out = String::new();
+            for args in &rows {
+                out.push_str(&naive_construct_string(&ctor, args));
+            }
+            std::hint::black_box(out.len());
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("e7b_xmlagg_order_by");
+    g.sample_size(10);
+    g.bench_function("linked_list_quicksort", |b| {
+        b.iter(|| {
+            let mut agg = XmlAgg::new(Arc::clone(&tpl), Some((4, false)));
+            for args in &rows {
+                agg.push(args.clone());
+            }
+            std::hint::black_box(agg.finish().len());
+        });
+    });
+    g.bench_function("external_workfile_sort", |b| {
+        b.iter(|| {
+            let sorted = external_sort_rows(rows.clone(), 4, 1024);
+            let items: Vec<Constructed> = sorted
+                .into_iter()
+                .map(|args| Constructed::new(Arc::clone(&tpl), args).unwrap())
+                .collect();
+            std::hint::black_box(items.len());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_construct);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E8 (§4.4, Fig. 8): pipelined virtual-SAX processing vs materializing a
+//! unified in-memory tree for the same parse → XPath → serialize task.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rx_xml::dom::DomTree;
+use rx_xml::NameDict;
+use rx_xpath::baseline::DomXPath;
+use rx_xpath::quickxscan::scan_str;
+use rx_xpath::{QueryTree, XPathParser};
+
+fn bench_runtime(c: &mut Criterion) {
+    let dict = NameDict::new();
+    let doc = rx_gen::sized_tree(50_000, 4, 16, 7);
+    let path = XPathParser::new().parse("//item[entry]/leaf").unwrap();
+    let tree = QueryTree::compile(&path).unwrap();
+
+    let mut g = c.benchmark_group("e8_pipeline_vs_materialize");
+    g.sample_size(10);
+    g.bench_function("pipelined_virtual_sax", |b| {
+        b.iter(|| {
+            let (items, _) = scan_str(&tree, &dict, &doc).unwrap();
+            let mut out = String::new();
+            for i in &items {
+                out.push_str(&i.value);
+            }
+            std::hint::black_box(out.len());
+        });
+    });
+    g.bench_function("materialize_dom_then_eval", |b| {
+        b.iter(|| {
+            let dom = DomTree::parse(&doc, &dict).unwrap();
+            let values = DomXPath::new(&tree, &dict).eval(&dom);
+            let mut out = String::new();
+            for v in &values {
+                out.push_str(v);
+            }
+            std::hint::black_box(out.len());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E9 (§5): single-operation costs of the two reader schemes — taking a
+//! document S lock vs opening an MVCC snapshot — plus version-commit cost.
+//! (The contended-throughput comparison runs in the `report` binary, where a
+//! live writer competes with readers.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rx_engine::conc;
+use rx_engine::db::{ColValue, ColumnKind, Database};
+use rx_engine::mvcc::{pack_for_mvcc, MvccXmlStore};
+use rx_storage::{BufferPool, MemBackend, TableSpace};
+use rx_xml::{NameDict, NodeId};
+use std::sync::Arc;
+
+fn bench_concurrency(c: &mut Criterion) {
+    let db = Database::create_in_memory().unwrap();
+    let t = db.create_table("o", &[("doc", ColumnKind::Xml)]).unwrap();
+    let doc = db
+        .insert_row(&t, &[ColValue::Xml(rx_gen::order_doc(1, 8))])
+        .unwrap();
+    let table_id = t.def.id;
+
+    let pool = BufferPool::new(4096);
+    let space = TableSpace::create(pool, 9, Arc::new(MemBackend::new())).unwrap();
+    let store = MvccXmlStore::create(space).unwrap();
+    let dict = NameDict::new();
+    let recs = pack_for_mvcc(&rx_gen::order_doc(1, 8), &dict, 3500).unwrap();
+    store.commit_version(1, &recs, &[]).unwrap();
+    let root = NodeId::from_bytes(&[0x02]).unwrap();
+
+    let mut g = c.benchmark_group("e9_reader_paths");
+    g.sample_size(20);
+    g.bench_function("lock_based_read", |b| {
+        b.iter(|| {
+            let txn = db.begin().unwrap();
+            conc::lock_document_shared(&txn, table_id, doc).unwrap();
+            std::hint::black_box(db.serialize_document(&t, "doc", doc).unwrap().len());
+            txn.commit().unwrap();
+        });
+    });
+    g.bench_function("mvcc_snapshot_read", |b| {
+        b.iter(|| {
+            let snap = store.snapshot();
+            let rid = store.locate(1, &root, snap).unwrap().unwrap();
+            std::hint::black_box(store.fetch(rid).unwrap().len());
+            store.close_snapshot(snap);
+        });
+    });
+    g.bench_function("mvcc_version_commit", |b| {
+        b.iter(|| {
+            store.commit_version(1, &recs, &[]).unwrap();
+        });
+    });
+    g.finish();
+    let _ = store.gc();
+}
+
+criterion_group!(benches, bench_concurrency);
+criterion_main!(benches);

@@ -1,0 +1,939 @@
+//! Index-based access methods and access-path selection (§4.3, Table 2).
+//!
+//! "Our approach is to use indexes to quickly identify a small subset of
+//! candidates and then perform further processing on them. For small
+//! documents, using indexes to identify qualifying documents would be
+//! efficient, which we call DocID list access … For large documents … the
+//! NodeID list access applies. Since we do not keep complete path information
+//! in an XPath value index, when the XPath expression of the index contains a
+//! query XPath expression but is not equivalent to it, we use the index for
+//! filtering, and re-evaluation … is necessary. When multiple indexes are
+//! used to evaluate a single XPath expression, we use DocID ANDing/ORing, or
+//! NodeID ANDing/ORing at document level or node level, respectively."
+//!
+//! Exactness classification follows Table 2's discussion verbatim: all-exact
+//! terms give an exact list; one exact term among containment terms still
+//! gives an exact list under NodeID-level ANDing; otherwise the list is a
+//! filter and re-evaluation runs.
+
+use crate::db::{BaseTable, XmlColumn};
+use crate::error::Result;
+use crate::traverse::{IdEventSink, Traverser};
+use crate::validx::{IndexEntry, ValueIndex};
+use crate::xmltable::DocId;
+use rx_xml::event::Event;
+use rx_xml::name::NameDict;
+use rx_xml::nodeid::NodeId;
+use rx_xml::value::{encode_key, KeyType};
+use rx_xpath::ast::{Axis, CmpOp, Expr, Operand, Path, Step};
+use rx_xpath::containment::{classify, IndexMatch};
+use rx_xpath::quickxscan::QuickXScan;
+use rx_xpath::QueryTree;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// One query result: a node of a document with its string value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryHit {
+    /// Owning document.
+    pub doc: DocId,
+    /// The matched node (present for stored-data evaluation).
+    pub node: Option<NodeId>,
+    /// String value of the matched node.
+    pub value: String,
+}
+
+/// A key range over encoded key values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyRange {
+    /// Lower bound (bytes, inclusive?).
+    pub lo: Option<(Vec<u8>, bool)>,
+    /// Upper bound (bytes, inclusive?).
+    pub hi: Option<(Vec<u8>, bool)>,
+}
+
+impl KeyRange {
+    fn from_cmp(op: CmpOp, key: Vec<u8>) -> Option<KeyRange> {
+        Some(match op {
+            CmpOp::Eq => KeyRange {
+                lo: Some((key.clone(), true)),
+                hi: Some((key, true)),
+            },
+            CmpOp::Lt => KeyRange {
+                lo: None,
+                hi: Some((key, false)),
+            },
+            CmpOp::Le => KeyRange {
+                lo: None,
+                hi: Some((key, true)),
+            },
+            CmpOp::Gt => KeyRange {
+                lo: Some((key, false)),
+                hi: None,
+            },
+            CmpOp::Ge => KeyRange {
+                lo: Some((key, true)),
+                hi: None,
+            },
+            CmpOp::Ne => return None,
+        })
+    }
+}
+
+/// One index term of a plan: an index, the key range to scan, and how the
+/// index path relates to the query's access path.
+pub struct IndexTerm {
+    /// The index to scan.
+    pub index: Arc<ValueIndex>,
+    /// Scan range.
+    pub range: KeyRange,
+    /// Exact vs containment (filtering) match.
+    pub match_kind: IndexMatch,
+    /// The access path this term covers (for explain output).
+    pub access_path: String,
+}
+
+impl fmt::Debug for IndexTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "IndexTerm({} {:?} on {})",
+            self.index.def.name, self.match_kind, self.access_path
+        )
+    }
+}
+
+/// How multiple terms combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combine {
+    /// Conjunctive: ANDing.
+    And,
+    /// Disjunctive: ORing.
+    Or,
+}
+
+/// Candidate granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// DocID lists (small documents).
+    DocId,
+    /// NodeID lists at the anchor node (large documents).
+    NodeId,
+}
+
+/// A selected access plan.
+pub enum AccessPlan {
+    /// Evaluate by scanning every document with QuickXScan (the relational-
+    /// scan analogue).
+    FullScan,
+    /// Index access: scan term ranges, combine candidate lists, verify when
+    /// the combined list is not exact.
+    Index {
+        /// The terms.
+        terms: Vec<IndexTerm>,
+        /// AND vs OR combination.
+        combine: Combine,
+        /// Candidate granularity.
+        granularity: Granularity,
+        /// Depth of the anchor step (NodeID granularity only): candidates
+        /// map to their ancestor at this depth.
+        anchor_depth: usize,
+        /// Is the combined candidate list exact (no re-evaluation needed to
+        /// decide the indexed predicates)?
+        exact: bool,
+        /// Whether the full query must still run on candidates (non-indexed
+        /// predicates, or result ≠ anchor, or inexact list).
+        verify: bool,
+    },
+}
+
+impl AccessPlan {
+    /// Human-readable explain output.
+    pub fn explain(&self) -> String {
+        match self {
+            AccessPlan::FullScan => "FULL SCAN (QuickXScan over every document)".to_string(),
+            AccessPlan::Index {
+                terms,
+                combine,
+                granularity,
+                exact,
+                verify,
+                ..
+            } => {
+                let mut s = String::new();
+                s.push_str(match granularity {
+                    Granularity::DocId => "DocID",
+                    Granularity::NodeId => "NodeID",
+                });
+                s.push_str(" list access");
+                if terms.len() > 1 {
+                    s.push_str(match combine {
+                        Combine::And => " with ANDing",
+                        Combine::Or => " with ORing",
+                    });
+                }
+                s.push_str(if *exact { " (exact" } else { " (filtering" });
+                s.push_str(if *verify {
+                    ", re-evaluation)"
+                } else {
+                    ", no re-evaluation)"
+                });
+                for t in terms {
+                    s.push_str(&format!(
+                        "\n  index {} [{}] {:?} via {}",
+                        t.index.def.name,
+                        t.index.def.path_text,
+                        t.match_kind,
+                        t.access_path
+                    ));
+                }
+                s
+            }
+        }
+    }
+}
+
+/// Execution counters for the E6 experiment.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Index entries scanned.
+    pub index_entries: u64,
+    /// Candidate documents / nodes after combining.
+    pub candidates: u64,
+    /// Documents fully (re-)evaluated.
+    pub docs_evaluated: u64,
+    /// Heap records fetched during evaluation.
+    pub records_fetched: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------------
+
+/// Strip predicates from steps `0..=idx` of `path` and append `tail`,
+/// yielding the access path of a predicate operand.
+fn access_path(path: &Path, idx: usize, tail: &Path) -> Path {
+    let mut steps: Vec<Step> = path.steps[..=idx]
+        .iter()
+        .map(|s| Step {
+            axis: s.axis,
+            test: s.test.clone(),
+            predicates: Vec::new(),
+        })
+        .collect();
+    steps.extend(tail.steps.iter().cloned());
+    Path {
+        absolute: true,
+        steps,
+    }
+}
+
+/// Try to express one comparison as an index term against any of `indexes`.
+fn term_for(
+    indexes: &[Arc<ValueIndex>],
+    full_path: &Path,
+    op: CmpOp,
+    literal: &str,
+) -> Option<IndexTerm> {
+    let mut best: Option<IndexTerm> = None;
+    for idx in indexes {
+        let m = classify(&idx.path, full_path);
+        if m == IndexMatch::None {
+            continue;
+        }
+        let Some(key) = encode_key(idx.def.key_type, literal) else {
+            continue; // literal does not cast to the index key type
+        };
+        // String indexes can serve ordering comparisons only lexicographically,
+        // which differs from numeric XPath semantics — restrict them to Eq.
+        if idx.def.key_type == KeyType::String && op != CmpOp::Eq {
+            continue;
+        }
+        let range = KeyRange::from_cmp(op, key)?;
+        let term = IndexTerm {
+            index: Arc::clone(idx),
+            range,
+            match_kind: m,
+            access_path: full_path.to_string(),
+        };
+        // Prefer exact over filtering matches.
+        let better = match (&best, m) {
+            (None, _) => true,
+            (Some(b), IndexMatch::Exact) if b.match_kind == IndexMatch::Filtering => true,
+            _ => false,
+        };
+        if better {
+            best = Some(term);
+        }
+    }
+    best
+}
+
+/// Decompose a predicate expression into indexable comparison terms. Returns
+/// `(terms, combine, fully_covered)`; `fully_covered` is false when any part
+/// of the expression could not be turned into an index term (so verification
+/// is mandatory).
+fn decompose(
+    expr: &Expr,
+    indexes: &[Arc<ValueIndex>],
+    path: &Path,
+    anchor: usize,
+) -> (Vec<IndexTerm>, Combine, bool) {
+    match expr {
+        Expr::And(a, b) => {
+            let (mut ta, _, ca) = decompose(a, indexes, path, anchor);
+            let (tb, _, cb) = decompose(b, indexes, path, anchor);
+            ta.extend(tb);
+            (ta, Combine::And, ca && cb)
+        }
+        Expr::Or(a, b) => {
+            let (ta, _, ca) = decompose(a, indexes, path, anchor);
+            let (tb, _, cb) = decompose(b, indexes, path, anchor);
+            // ORing is only usable when BOTH sides are fully indexable;
+            // otherwise the index list would miss qualifying candidates.
+            if ca && cb && !ta.is_empty() && !tb.is_empty() {
+                let mut t = ta;
+                t.extend(tb);
+                (t, Combine::Or, true)
+            } else {
+                (Vec::new(), Combine::Or, false)
+            }
+        }
+        Expr::Cmp(op, lhs, rhs) => {
+            let (p, op, lit) = match (lhs, rhs) {
+                (Operand::Path(p), Operand::Literal(l)) => (p, *op, l.clone()),
+                (Operand::Path(p), Operand::Number(n)) => {
+                    (p, *op, rx_xml::value::format_double(*n))
+                }
+                (Operand::Literal(l), Operand::Path(p)) => (p, op.flip(), l.clone()),
+                (Operand::Number(n), Operand::Path(p)) => {
+                    (p, op.flip(), rx_xml::value::format_double(*n))
+                }
+                _ => return (Vec::new(), Combine::And, false),
+            };
+            if !p.is_simple() || p.absolute {
+                return (Vec::new(), Combine::And, false);
+            }
+            let full = access_path(path, anchor, p);
+            match term_for(indexes, &full, op, &lit) {
+                Some(t) => (vec![t], Combine::And, true),
+                None => (Vec::new(), Combine::And, false),
+            }
+        }
+        _ => (Vec::new(), Combine::And, false),
+    }
+}
+
+/// Choose an access plan for `path` against the indexes of `column`.
+/// `prefer_nodeid` selects NodeID-granularity candidate lists (large
+/// documents); it requires the anchor prefix to use only child axes so the
+/// anchor depth is fixed.
+pub fn plan(path: &Path, column: &XmlColumn, prefer_nodeid: bool) -> AccessPlan {
+    let indexes = column.indexes();
+    if indexes.is_empty() {
+        return AccessPlan::FullScan;
+    }
+    // Find the anchor: the step carrying predicates (the last one wins when
+    // several do; earlier ones then force verification).
+    let Some(anchor) = path.steps.iter().rposition(|s| !s.predicates.is_empty()) else {
+        return AccessPlan::FullScan;
+    };
+    let preds = &path.steps[anchor].predicates;
+    let mut terms = Vec::new();
+    let mut combine = Combine::And;
+    let mut covered = true;
+    for (i, p) in preds.iter().enumerate() {
+        let (t, c, cov) = decompose(p, &indexes, path, anchor);
+        if i == 0 {
+            combine = c;
+        } else if c != combine && !t.is_empty() {
+            // Mixed and/or across predicate brackets: conjunction of
+            // brackets; treat as AND and require verification.
+            covered = false;
+        }
+        covered &= cov;
+        terms.extend(t);
+    }
+    if terms.is_empty() {
+        return AccessPlan::FullScan;
+    }
+    // Other steps with predicates force verification.
+    let other_preds = path
+        .steps
+        .iter()
+        .enumerate()
+        .any(|(i, s)| i != anchor && !s.predicates.is_empty());
+    covered &= !other_preds;
+
+    // Exactness per Table 2: all exact → exact; under NodeID-level ANDing a
+    // single exact term keeps the list exact; otherwise filtering.
+    let all_exact = terms.iter().all(|t| t.match_kind == IndexMatch::Exact);
+    let anchor_child_only = path.steps[..=anchor]
+        .iter()
+        .all(|s| s.axis == Axis::Child);
+    let granularity = if prefer_nodeid && anchor_child_only {
+        Granularity::NodeId
+    } else {
+        Granularity::DocId
+    };
+    let exact = match granularity {
+        Granularity::NodeId => {
+            all_exact
+                || (combine == Combine::And
+                    && terms.iter().any(|t| t.match_kind == IndexMatch::Exact))
+        }
+        Granularity::DocId => all_exact && terms.len() == 1,
+    };
+    // Does the query ask for exactly the anchor nodes?
+    let result_is_anchor = anchor == path.steps.len() - 1;
+    let verify = !exact || !covered || !result_is_anchor || granularity == Granularity::DocId;
+    AccessPlan::Index {
+        terms,
+        combine,
+        granularity,
+        anchor_depth: anchor + 1,
+        exact,
+        verify,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Drive QuickXScan over one stored document.
+struct ScanSink<'a, 'q, 'd> {
+    scan: &'a mut QuickXScan<'q, 'd>,
+}
+
+impl IdEventSink for ScanSink<'_, '_, '_> {
+    fn id_event(&mut self, id: &NodeId, ev: Event<'_>) -> Result<()> {
+        use rx_xml::event::EventSink;
+        self.scan.set_current_node(id.clone());
+        self.scan.event(ev)?;
+        Ok(())
+    }
+}
+
+/// Evaluate `tree` over document `doc` of `column`, returning hits.
+pub fn evaluate_document(
+    column: &XmlColumn,
+    dict: &NameDict,
+    tree: &QueryTree,
+    doc: DocId,
+    stats: &mut AccessStats,
+) -> Result<Vec<QueryHit>> {
+    let mut scan = QuickXScan::new(tree, dict);
+    let mut t = Traverser::new(column.xml_table(), doc);
+    t.run(&mut ScanSink { scan: &mut scan })?;
+    stats.docs_evaluated += 1;
+    stats.records_fetched += t.stats.records_fetched;
+    let items = scan.finish()?;
+    Ok(items
+        .into_iter()
+        .map(|i| QueryHit {
+            doc,
+            node: i.node,
+            value: i.value,
+        })
+        .collect())
+}
+
+/// Execute a plan. `table` supplies the document population for scans.
+pub fn execute(
+    plan: &AccessPlan,
+    table: &Arc<BaseTable>,
+    column: &XmlColumn,
+    dict: &NameDict,
+    path: &Path,
+) -> Result<(Vec<QueryHit>, AccessStats)> {
+    let tree = QueryTree::compile(path)?;
+    let mut stats = AccessStats::default();
+    match plan {
+        AccessPlan::FullScan => {
+            let mut hits = Vec::new();
+            let docs = all_docids(table)?;
+            for doc in docs {
+                hits.extend(evaluate_document(column, dict, &tree, doc, &mut stats)?);
+            }
+            Ok((hits, stats))
+        }
+        AccessPlan::Index {
+            terms,
+            combine,
+            granularity,
+            anchor_depth,
+            verify,
+            ..
+        } => {
+            // Scan every term's range.
+            let mut term_entries: Vec<Vec<IndexEntry>> = Vec::with_capacity(terms.len());
+            for t in terms {
+                let entries = t.index.range(
+                    t.range.lo.as_ref().map(|(k, i)| (k.as_slice(), *i)),
+                    t.range.hi.as_ref().map(|(k, i)| (k.as_slice(), *i)),
+                )?;
+                stats.index_entries += entries.len() as u64;
+                term_entries.push(entries);
+            }
+            match granularity {
+                Granularity::DocId => {
+                    let sets: Vec<BTreeSet<DocId>> = term_entries
+                        .iter()
+                        .map(|es| es.iter().map(|e| e.doc).collect())
+                        .collect();
+                    let docs = combine_sets(sets, *combine);
+                    stats.candidates = docs.len() as u64;
+                    let mut hits = Vec::new();
+                    for doc in docs {
+                        hits.extend(evaluate_document(column, dict, &tree, doc, &mut stats)?);
+                    }
+                    Ok((hits, stats))
+                }
+                Granularity::NodeId => {
+                    // Map each entry's node to its ancestor at the anchor
+                    // depth (a Dewey prefix truncation), then combine.
+                    let sets: Vec<BTreeSet<(DocId, NodeId)>> = term_entries
+                        .iter()
+                        .map(|es| {
+                            es.iter()
+                                .filter_map(|e| {
+                                    ancestor_at_depth(&e.node, *anchor_depth)
+                                        .map(|a| (e.doc, a))
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    let nodes = combine_sets(sets, *combine);
+                    stats.candidates = nodes.len() as u64;
+                    if !verify {
+                        // Exact list, result = anchor nodes: emit directly.
+                        let mut hits = Vec::with_capacity(nodes.len());
+                        for (doc, node) in nodes {
+                            let value =
+                                crate::traverse::string_value(column.xml_table(), doc, &node)?;
+                            stats.records_fetched += 1;
+                            hits.push(QueryHit {
+                                doc,
+                                node: Some(node),
+                                value,
+                            });
+                        }
+                        return Ok((hits, stats));
+                    }
+                    // Verify per candidate *document* but only documents that
+                    // have candidates; node-level pre-filtering already cut
+                    // the verification set.
+                    let docs: BTreeSet<DocId> = nodes.iter().map(|(d, _)| *d).collect();
+                    let mut hits = Vec::new();
+                    for doc in docs {
+                        let doc_hits =
+                            evaluate_document(column, dict, &tree, doc, &mut stats)?;
+                        // Keep only hits whose anchor candidate was listed.
+                        for h in doc_hits {
+                            let keep = match &h.node {
+                                Some(n) => nodes.iter().any(|(d, c)| {
+                                    *d == doc
+                                        && (c == n
+                                            || c.is_ancestor(n)
+                                            || n.is_ancestor(c))
+                                }),
+                                None => true,
+                            };
+                            if keep {
+                                hits.push(h);
+                            }
+                        }
+                    }
+                    Ok((hits, stats))
+                }
+            }
+        }
+    }
+}
+
+/// Plan + execute under the §5.1 DocID-locking protocol: IS on the table,
+/// then an S lock on every candidate document *before* it is evaluated —
+/// "care must be taken also to prevent reading a partially inserted document
+/// by using a lock": a value-index probe can surface entries of an
+/// uncommitted insert, and the S lock makes the reader wait for (or abort
+/// against) the inserting transaction instead of reading half a document.
+pub fn run_query_locked(
+    txn: &rx_storage::Txn,
+    table: &Arc<BaseTable>,
+    column: &XmlColumn,
+    dict: &NameDict,
+    path: &Path,
+    prefer_nodeid: bool,
+) -> Result<(Vec<QueryHit>, AccessStats)> {
+    txn.lock(
+        &rx_storage::LockName::Table(table.def.id),
+        rx_storage::LockMode::IS,
+    )?;
+    let plan = plan(path, column, prefer_nodeid);
+    // Gather candidate documents first (index scans read only index pages),
+    // then lock + evaluate each.
+    let tree = QueryTree::compile(path)?;
+    let mut stats = AccessStats::default();
+    let docs: Vec<DocId> = match &plan {
+        AccessPlan::FullScan => all_docids(table)?,
+        AccessPlan::Index {
+            terms, combine, ..
+        } => {
+            let mut sets: Vec<BTreeSet<DocId>> = Vec::with_capacity(terms.len());
+            for t in terms {
+                let entries = t.index.range(
+                    t.range.lo.as_ref().map(|(k, i)| (k.as_slice(), *i)),
+                    t.range.hi.as_ref().map(|(k, i)| (k.as_slice(), *i)),
+                )?;
+                stats.index_entries += entries.len() as u64;
+                sets.push(entries.iter().map(|e| e.doc).collect());
+            }
+            combine_sets(sets, *combine).into_iter().collect()
+        }
+    };
+    stats.candidates = docs.len() as u64;
+    let mut hits = Vec::new();
+    for doc in docs {
+        txn.lock(
+            &rx_storage::LockName::Document {
+                table: table.def.id,
+                doc,
+            },
+            rx_storage::LockMode::S,
+        )?;
+        hits.extend(evaluate_document(column, dict, &tree, doc, &mut stats)?);
+    }
+    Ok((hits, stats))
+}
+
+/// Convenience: plan + execute in one call.
+pub fn run_query(
+    table: &Arc<BaseTable>,
+    column: &XmlColumn,
+    dict: &NameDict,
+    path: &Path,
+    prefer_nodeid: bool,
+) -> Result<(Vec<QueryHit>, AccessStats, String)> {
+    let p = plan(path, column, prefer_nodeid);
+    let explain = p.explain();
+    let (hits, stats) = execute(&p, table, column, dict, path)?;
+    Ok((hits, stats, explain))
+}
+
+/// All DocIDs of a table, from the DocID index.
+pub fn all_docids(table: &Arc<BaseTable>) -> Result<Vec<DocId>> {
+    let mut out = Vec::new();
+    table.docid_index().scan_all(|k, _| {
+        if let Ok(b) = <[u8; 8]>::try_from(k) {
+            out.push(u64::from_be_bytes(b));
+        }
+        true
+    })?;
+    Ok(out)
+}
+
+fn combine_sets<T: Ord + Clone>(mut sets: Vec<BTreeSet<T>>, combine: Combine) -> BTreeSet<T> {
+    match combine {
+        Combine::Or => {
+            let mut out = BTreeSet::new();
+            for s in sets {
+                out.extend(s);
+            }
+            out
+        }
+        Combine::And => {
+            if sets.is_empty() {
+                return BTreeSet::new();
+            }
+            let first = sets.remove(0);
+            sets.into_iter().fold(first, |acc, s| {
+                acc.intersection(&s).cloned().collect()
+            })
+        }
+    }
+}
+
+/// The ancestor of `node` at exactly `depth` levels below the root, if the
+/// node is at least that deep (Dewey prefix truncation).
+pub fn ancestor_at_depth(node: &NodeId, depth: usize) -> Option<NodeId> {
+    let levels = node.levels().ok()?;
+    if levels.len() < depth {
+        return None;
+    }
+    let mut id = NodeId::root();
+    for rel in &levels[..depth] {
+        id = id.child(rel);
+    }
+    Some(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{ColValue, ColumnKind, Database};
+    use rx_xpath::XPathParser;
+
+    fn catalog_doc(id: u32, price: f64, discount: f64) -> String {
+        format!(
+            "<Catalog><Categories><Product><ProductName>P{id}</ProductName>\
+             <RegPrice>{price}</RegPrice><Discount>{discount}</Discount>\
+             </Product></Categories></Catalog>"
+        )
+    }
+
+    fn setup() -> (Arc<Database>, Arc<BaseTable>) {
+        let db = Database::create_in_memory().unwrap();
+        let t = db
+            .create_table("products", &[("doc", ColumnKind::Xml)])
+            .unwrap();
+        db.create_value_index(
+            "products",
+            "price_idx",
+            "doc",
+            "/Catalog/Categories/Product/RegPrice",
+            KeyType::Double,
+        )
+        .unwrap();
+        db.create_value_index(
+            "products",
+            "disc_idx",
+            "doc",
+            "//Discount",
+            KeyType::Double,
+        )
+        .unwrap();
+        for i in 0..20u32 {
+            let price = 10.0 + f64::from(i) * 20.0; // 10..390
+            let discount = f64::from(i % 4) * 0.1; // 0, .1, .2, .3
+            db.insert_row(&t, &[ColValue::Xml(catalog_doc(i, price, discount))])
+                .unwrap();
+        }
+        (db, t)
+    }
+
+    fn q(s: &str) -> Path {
+        XPathParser::new().parse(s).unwrap()
+    }
+
+    #[test]
+    fn table2_case1_docid_list() {
+        // Query: /Catalog/Categories/Product[RegPrice > 100]
+        // Index: /Catalog/Categories/Product/RegPrice as double → exact.
+        let (db, t) = setup();
+        let col = t.xml_column("doc").unwrap();
+        let path = q("/Catalog/Categories/Product[RegPrice > 100]");
+        let plan = plan(&path, col, false);
+        let explain = plan.explain();
+        assert!(explain.contains("DocID list access"), "{explain}");
+        assert!(explain.contains("Exact"), "{explain}");
+        let (hits, stats) = execute(&plan, &t, col, db.dict(), &path).unwrap();
+        // Prices 110..390 → 15 products.
+        assert_eq!(hits.len(), 15);
+        assert_eq!(stats.candidates, 15);
+        // Only candidate docs were evaluated (vs 20 for a scan).
+        assert_eq!(stats.docs_evaluated, 15);
+    }
+
+    #[test]
+    fn table2_case2_filtering() {
+        // Query predicate on Discount; index //Discount contains the access
+        // path → filtering.
+        let (db, t) = setup();
+        let col = t.xml_column("doc").unwrap();
+        let path = q("/Catalog/Categories/Product[Discount > 0.15]");
+        let plan = plan(&path, col, false);
+        let explain = plan.explain();
+        assert!(explain.contains("Filtering"), "{explain}");
+        let (hits, _) = execute(&plan, &t, col, db.dict(), &path).unwrap();
+        // Discount 0.2 or 0.3 → i%4 in {2,3} → 10 products.
+        assert_eq!(hits.len(), 10);
+    }
+
+    #[test]
+    fn table2_case3_anding() {
+        let (db, t) = setup();
+        let col = t.xml_column("doc").unwrap();
+        let path = q("/Catalog/Categories/Product[RegPrice > 100 and Discount > 0.15]");
+        let plan = plan(&path, col, false);
+        let explain = plan.explain();
+        assert!(explain.contains("ANDing"), "{explain}");
+        let (hits, stats) = execute(&plan, &t, col, db.dict(), &path).unwrap();
+        let scan_hits = {
+            let (h, _) = execute(&AccessPlan::FullScan, &t, col, db.dict(), &path).unwrap();
+            h
+        };
+        assert_eq!(hits.len(), scan_hits.len());
+        assert!(stats.candidates <= 15);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn oring() {
+        let (db, t) = setup();
+        let col = t.xml_column("doc").unwrap();
+        let path = q("/Catalog/Categories/Product[RegPrice < 50 or Discount > 0.25]");
+        let plan = plan(&path, col, false);
+        assert!(plan.explain().contains("ORing"), "{}", plan.explain());
+        let (hits, _) = execute(&plan, &t, col, db.dict(), &path).unwrap();
+        let (scan_hits, _) =
+            execute(&AccessPlan::FullScan, &t, col, db.dict(), &path).unwrap();
+        assert_eq!(hits.len(), scan_hits.len());
+    }
+
+    #[test]
+    fn nodeid_granularity_exact_skips_reevaluation() {
+        let (db, t) = setup();
+        let col = t.xml_column("doc").unwrap();
+        let path = q("/Catalog/Categories/Product[RegPrice = 110]");
+        let plan = plan(&path, col, true);
+        match &plan {
+            AccessPlan::Index {
+                granularity,
+                verify,
+                exact,
+                ..
+            } => {
+                assert_eq!(*granularity, Granularity::NodeId);
+                assert!(*exact);
+                assert!(!*verify, "exact NodeID list needs no re-evaluation");
+            }
+            AccessPlan::FullScan => panic!("expected index plan"),
+        }
+        let (hits, stats) = execute(&plan, &t, col, db.dict(), &path).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(stats.docs_evaluated, 0, "no document re-evaluation");
+        assert!(hits[0].value.contains("P5"));
+    }
+
+    #[test]
+    fn index_plans_agree_with_scan() {
+        let (db, t) = setup();
+        let col = t.xml_column("doc").unwrap();
+        let queries = [
+            "/Catalog/Categories/Product[RegPrice > 100]",
+            "/Catalog/Categories/Product[RegPrice <= 110]",
+            "/Catalog/Categories/Product[RegPrice = 130]/ProductName",
+            "/Catalog/Categories/Product[Discount > 0.05 and RegPrice < 200]",
+            "/Catalog/Categories/Product[RegPrice >= 350 or Discount = 0.3]",
+        ];
+        for qs in queries {
+            let path = q(qs);
+            for prefer_nodeid in [false, true] {
+                let p = plan(&path, col, prefer_nodeid);
+                let (mut hits, _) = execute(&p, &t, col, db.dict(), &path).unwrap();
+                let (mut scan_hits, _) =
+                    execute(&AccessPlan::FullScan, &t, col, db.dict(), &path).unwrap();
+                let key = |h: &QueryHit| (h.doc, h.node.clone().map(|n| n.as_bytes().to_vec()));
+                hits.sort_by_key(key);
+                scan_hits.sort_by_key(key);
+                assert_eq!(hits, scan_hits, "query {qs} nodeid={prefer_nodeid}");
+            }
+        }
+    }
+
+    #[test]
+    fn unindexable_queries_fall_back_to_scan() {
+        let (_db, t) = setup();
+        let col = t.xml_column("doc").unwrap();
+        // No predicate at all.
+        assert!(matches!(
+            plan(&q("/Catalog/Categories/Product"), col, false),
+            AccessPlan::FullScan
+        ));
+        // Predicate on an unindexed path.
+        assert!(matches!(
+            plan(&q("/Catalog/Categories/Product[ProductName = 'P3']"), col, false),
+            AccessPlan::FullScan
+        ));
+        // != cannot use an index.
+        assert!(matches!(
+            plan(&q("/Catalog/Categories/Product[RegPrice != 100]"), col, false),
+            AccessPlan::FullScan
+        ));
+    }
+
+    #[test]
+    fn ancestor_truncation() {
+        let n = NodeId::from_bytes(&[0x02, 0x04, 0x03, 0x02, 0x06]).unwrap();
+        assert_eq!(
+            ancestor_at_depth(&n, 1).unwrap().as_bytes(),
+            &[0x02][..]
+        );
+        assert_eq!(
+            ancestor_at_depth(&n, 2).unwrap().as_bytes(),
+            &[0x02, 0x04][..]
+        );
+        assert_eq!(
+            ancestor_at_depth(&n, 3).unwrap().as_bytes(),
+            &[0x02, 0x04, 0x03, 0x02][..]
+        );
+        assert!(ancestor_at_depth(&n, 5).is_none());
+    }
+}
+
+#[cfg(test)]
+mod exactness_tests {
+    use super::*;
+    use crate::db::{ColValue, ColumnKind, Database};
+    use rx_xml::value::KeyType;
+    use rx_xpath::XPathParser;
+
+    /// Table 2's exactness discussion: "If all the indexes match exactly with
+    /// the predicates, the result DocID/NodeID list is exact. If one of them
+    /// is exact match, while the others are containment, NodeID level ANDing
+    /// will result in an exact list. Otherwise, the result list will not be
+    /// exact but filtering."
+    #[test]
+    fn mixed_exact_and_containment_nodeid_anding_is_exact() {
+        let db = Database::create_in_memory().unwrap();
+        let t = db.create_table("c", &[("doc", ColumnKind::Xml)]).unwrap();
+        // Exact index for RegPrice, containment (//) index for Discount.
+        db.create_value_index("c", "p", "doc", "/Catalog/Product/RegPrice", KeyType::Double)
+            .unwrap();
+        db.create_value_index("c", "d", "doc", "//Discount", KeyType::Double)
+            .unwrap();
+        db.insert_row(
+            &t,
+            &[ColValue::Xml(
+                "<Catalog><Product><RegPrice>100</RegPrice>\
+                 <Discount>0.2</Discount></Product></Catalog>"
+                    .into(),
+            )],
+        )
+        .unwrap();
+        let col = t.xml_column("doc").unwrap();
+        let path = XPathParser::new()
+            .parse("/Catalog/Product[RegPrice > 50 and Discount > 0.1]")
+            .unwrap();
+        // NodeID granularity: exact despite the containment term.
+        match plan(&path, col, true) {
+            AccessPlan::Index {
+                granularity, exact, ..
+            } => {
+                assert_eq!(granularity, Granularity::NodeId);
+                assert!(exact, "one exact term keeps NodeID ANDing exact");
+            }
+            AccessPlan::FullScan => panic!("expected an index plan"),
+        }
+        // DocID granularity with two terms: not exact (re-evaluation needed).
+        match plan(&path, col, false) {
+            AccessPlan::Index { exact, verify, .. } => {
+                assert!(!exact);
+                assert!(verify);
+            }
+            AccessPlan::FullScan => panic!("expected an index plan"),
+        }
+        // Two containment-only terms at NodeID level: filtering.
+        let path = XPathParser::new()
+            .parse("/Catalog/Product[Discount > 0.1 and Discount < 0.5]")
+            .unwrap();
+        match plan(&path, col, true) {
+            AccessPlan::Index { exact, .. } => {
+                assert!(!exact, "containment-only ANDing is a filter");
+            }
+            AccessPlan::FullScan => panic!("expected an index plan"),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Engine-level errors.
+
+use std::fmt;
+
+/// Result alias for the engine crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors surfaced by the System R/X engine.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant fields are self-descriptive
+pub enum EngineError {
+    /// Underlying storage-layer failure.
+    Storage(rx_storage::StorageError),
+    /// XML parsing / validation / data-model failure.
+    Xml(rx_xml::XmlError),
+    /// XPath compilation or evaluation failure.
+    XPath(rx_xpath::XPathError),
+    /// A named object (table, column, index, schema) was not found.
+    NotFound { kind: &'static str, name: String },
+    /// An object with this name already exists.
+    AlreadyExists { kind: &'static str, name: String },
+    /// A packed record is structurally invalid.
+    Record(String),
+    /// Invalid argument or unsupported operation.
+    Invalid(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage: {e}"),
+            EngineError::Xml(e) => write!(f, "xml: {e}"),
+            EngineError::XPath(e) => write!(f, "xpath: {e}"),
+            EngineError::NotFound { kind, name } => write!(f, "{kind} {name:?} not found"),
+            EngineError::AlreadyExists { kind, name } => {
+                write!(f, "{kind} {name:?} already exists")
+            }
+            EngineError::Record(m) => write!(f, "packed record: {m}"),
+            EngineError::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            EngineError::Xml(e) => Some(e),
+            EngineError::XPath(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rx_storage::StorageError> for EngineError {
+    fn from(e: rx_storage::StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<rx_xml::XmlError> for EngineError {
+    fn from(e: rx_xml::XmlError) -> Self {
+        EngineError::Xml(e)
+    }
+}
+
+impl From<rx_xpath::XPathError> for EngineError {
+    fn from(e: rx_xpath::XPathError) -> Self {
+        EngineError::XPath(e)
+    }
+}

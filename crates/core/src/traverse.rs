@@ -1,0 +1,578 @@
+//! Traversal of stored XML data (§3.4).
+//!
+//! "To traverse in document order a persistently stored XML document with a
+//! given docid value, first the NodeID index is searched with (docid, 00) as
+//! the key. The root record can be identified. The XMLData is then traversed.
+//! If a proxy node is encountered, its node ID nodeid is used to search the
+//! NodeID index … Stacking has to be used during traversal. At a higher
+//! level, the records form a block-based tree, and traversal of this tree is
+//! also in a depth-first order."
+//!
+//! The traversal pushes virtual SAX events annotated with absolute node IDs,
+//! so the same visitor drives serialization (ignore the IDs), QuickXScan
+//! re-evaluation (feed `set_current_node`), and value-index maintenance.
+
+use crate::error::{EngineError, Result};
+use crate::pack::{read_header, read_nodes, NodeView};
+use crate::xmltable::{subtree_successor, DocId, XmlTable};
+use rx_xml::event::{Event, EventSink};
+use rx_xml::nodeid::NodeId;
+use rx_xml::value::TypeAnn;
+
+/// A visitor receiving `(node id, event)` pairs from stored-document
+/// traversal. Start/End document and namespace events carry the context/root
+/// IDs of their record.
+pub trait IdEventSink {
+    /// Handle one identified event.
+    fn id_event(&mut self, id: &NodeId, ev: Event<'_>) -> Result<()>;
+}
+
+/// Adapter: drop the node IDs and forward plain events (e.g. into the
+/// serializer).
+pub struct DropIds<'a, S: EventSink + ?Sized>(pub &'a mut S);
+
+impl<S: EventSink + ?Sized> IdEventSink for DropIds<'_, S> {
+    fn id_event(&mut self, _id: &NodeId, ev: Event<'_>) -> Result<()> {
+        self.0.event(ev).map_err(EngineError::from)
+    }
+}
+
+/// Counters for traversal experiments (E2).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TraverseStats {
+    /// Records fetched from the heap.
+    pub records_fetched: u64,
+    /// NodeID-index probes performed (root lookup + proxy resolutions).
+    pub index_probes: u64,
+    /// Nodes visited.
+    pub nodes: u64,
+}
+
+/// Depth-first, document-order traversal of one stored document.
+pub struct Traverser<'x> {
+    xml: &'x XmlTable,
+    doc: DocId,
+    /// Counters.
+    pub stats: TraverseStats,
+}
+
+impl<'x> Traverser<'x> {
+    /// Bind to a document of an XML table.
+    pub fn new(xml: &'x XmlTable, doc: DocId) -> Self {
+        Traverser {
+            xml,
+            doc,
+            stats: TraverseStats::default(),
+        }
+    }
+
+    /// Traverse the whole document, emitting events (with IDs) into `sink`.
+    pub fn run(&mut self, sink: &mut dyn IdEventSink) -> Result<()> {
+        let root = NodeId::root();
+        sink.id_event(&root, Event::StartDocument)?;
+        // §3.4: search the NodeID index with (docid, 00).
+        self.stats.index_probes += 1;
+        let Some(rid) = self.xml.locate(self.doc, &root)? else {
+            return Err(EngineError::NotFound {
+                kind: "document",
+                name: format!("docid {}", self.doc),
+            });
+        };
+        self.stats.records_fetched += 1;
+        let row = self.xml.fetch(rid)?;
+        let hdr = read_header(&row.data)?;
+        self.replay_region(&row.data[hdr.body_offset..], &hdr.context, sink)?;
+        sink.id_event(&root, Event::EndDocument)
+    }
+
+    /// Traverse only the subtree rooted at `node` (used to serialize query
+    /// results fetched through value indexes).
+    pub fn run_subtree(&mut self, node: &NodeId, sink: &mut dyn IdEventSink) -> Result<()> {
+        self.stats.index_probes += 1;
+        let Some(rid) = self.xml.locate(self.doc, node)? else {
+            return Err(EngineError::NotFound {
+                kind: "node",
+                name: format!("docid {} node {}", self.doc, node),
+            });
+        };
+        self.stats.records_fetched += 1;
+        let row = self.xml.fetch(rid)?;
+        let hdr = read_header(&row.data)?;
+        self.replay_find(&row.data[hdr.body_offset..], &hdr.context, node, sink)
+    }
+
+    /// Replay all sibling entries of a region whose parent is `ctx`.
+    fn replay_region(
+        &mut self,
+        region: &[u8],
+        ctx: &NodeId,
+        sink: &mut dyn IdEventSink,
+    ) -> Result<()> {
+        for entry in read_nodes(region) {
+            let entry = entry?;
+            self.replay_entry(&entry, ctx, sink)?;
+        }
+        Ok(())
+    }
+
+    fn replay_entry(
+        &mut self,
+        entry: &NodeView<'_>,
+        ctx: &NodeId,
+        sink: &mut dyn IdEventSink,
+    ) -> Result<()> {
+        match entry {
+            NodeView::Element {
+                rel,
+                name,
+                nsdecls,
+                content,
+                ..
+            } => {
+                let abs = ctx.child(rel);
+                self.stats.nodes += 1;
+                sink.id_event(&abs, Event::StartElement { name: *name })?;
+                for (p, u) in nsdecls {
+                    sink.id_event(&abs, Event::NamespaceDecl { prefix: *p, uri: *u })?;
+                }
+                self.replay_region(content, &abs, sink)?;
+                sink.id_event(&abs, Event::EndElement)?;
+            }
+            NodeView::Attribute {
+                rel, name, ann, value,
+            } => {
+                let abs = ctx.child(rel);
+                self.stats.nodes += 1;
+                sink.id_event(
+                    &abs,
+                    Event::Attribute {
+                        name: *name,
+                        value,
+                        ann: *ann,
+                    },
+                )?;
+            }
+            NodeView::Text { rel, ann, value } => {
+                let abs = ctx.child(rel);
+                self.stats.nodes += 1;
+                sink.id_event(&abs, Event::Text { value, ann: *ann })?;
+            }
+            NodeView::Comment { rel, value } => {
+                let abs = ctx.child(rel);
+                self.stats.nodes += 1;
+                sink.id_event(&abs, Event::Comment { value })?;
+            }
+            NodeView::Pi { rel, target, value } => {
+                let abs = ctx.child(rel);
+                self.stats.nodes += 1;
+                sink.id_event(
+                    &abs,
+                    Event::Pi {
+                        target: *target,
+                        data: value,
+                    },
+                )?;
+            }
+            NodeView::Proxy { first, count, .. } => {
+                // Resolve the range through the NodeID index, record by
+                // record (§3.4's block-tree descent).
+                let mut remaining = *count;
+                let mut probe: Vec<u8> = ctx.child(first).as_bytes().to_vec();
+                while remaining > 0 {
+                    self.stats.index_probes += 1;
+                    let Some((_, rid)) = self.xml.locate_raw(self.doc, &probe)? else {
+                        return Err(EngineError::Record(format!(
+                            "dangling proxy: no record covers doc {} id {:02x?}",
+                            self.doc, probe
+                        )));
+                    };
+                    self.stats.records_fetched += 1;
+                    let row = self.xml.fetch(rid)?;
+                    let hdr = read_header(&row.data)?;
+                    if &hdr.context != ctx {
+                        return Err(EngineError::Record(format!(
+                            "proxy resolution landed on record with context {} (expected {})",
+                            hdr.context, ctx
+                        )));
+                    }
+                    let mut last_root: Option<NodeId> = None;
+                    for entry in read_nodes(&row.data[hdr.body_offset..]) {
+                        let entry = entry?;
+                        if remaining == 0 {
+                            break;
+                        }
+                        match &entry {
+                            NodeView::Proxy { count: c, last, .. } => {
+                                remaining = remaining.saturating_sub(*c);
+                                last_root = Some(ctx.child(last));
+                            }
+                            other => {
+                                remaining -= 1;
+                                last_root = Some(ctx.child(other.rel()));
+                            }
+                        }
+                        self.replay_entry(&entry, ctx, sink)?;
+                    }
+                    match last_root {
+                        Some(last) => probe = subtree_successor(&last),
+                        None => {
+                            return Err(EngineError::Record(
+                                "proxy resolution made no progress".into(),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Locate `target` within a region (descending through subtree-length
+    /// skips and proxies) and replay just its subtree.
+    fn replay_find(
+        &mut self,
+        region: &[u8],
+        ctx: &NodeId,
+        target: &NodeId,
+        sink: &mut dyn IdEventSink,
+    ) -> Result<()> {
+        for entry in read_nodes(region) {
+            let entry = entry?;
+            match &entry {
+                NodeView::Proxy { first, last, .. } => {
+                    let first_abs = ctx.child(first);
+                    let last_abs = ctx.child(last);
+                    // Does the target fall inside the proxied range?
+                    let in_range = target >= &first_abs
+                        && target.as_bytes() < subtree_successor(&last_abs).as_slice();
+                    if in_range {
+                        self.stats.index_probes += 1;
+                        let Some(rid) = self.xml.locate(self.doc, target)? else {
+                            return Err(EngineError::NotFound {
+                                kind: "node",
+                                name: format!("docid {} node {target}", self.doc),
+                            });
+                        };
+                        self.stats.records_fetched += 1;
+                        let row = self.xml.fetch(rid)?;
+                        let hdr = read_header(&row.data)?;
+                        return self.replay_find(
+                            &row.data[hdr.body_offset..],
+                            &hdr.context,
+                            target,
+                            sink,
+                        );
+                    }
+                }
+                other => {
+                    let abs = ctx.child(other.rel());
+                    if &abs == target {
+                        return self.replay_entry(&entry, ctx, sink);
+                    }
+                    if abs.is_ancestor(target) {
+                        if let NodeView::Element { content, .. } = &entry {
+                            return self.replay_find(content, &abs, target, sink);
+                        }
+                        return Err(EngineError::NotFound {
+                            kind: "node",
+                            name: format!("docid {} node {target}", self.doc),
+                        });
+                    }
+                    // Otherwise: skip the whole subtree (the §3.1/§3.4
+                    // subtree-length skip — zero decoding of its interior).
+                }
+            }
+        }
+        Err(EngineError::NotFound {
+            kind: "node",
+            name: format!("docid {} node {target}", self.doc),
+        })
+    }
+}
+
+/// The string value of the subtree rooted at `node`: concatenated descendant
+/// *text* (attributes of descendant elements are excluded, per the XDM);
+/// for an attribute node itself, the attribute value.
+pub fn string_value(xml: &XmlTable, doc: DocId, node: &NodeId) -> Result<String> {
+    struct Collect {
+        out: String,
+        root: NodeId,
+    }
+    impl IdEventSink for Collect {
+        fn id_event(&mut self, id: &NodeId, ev: Event<'_>) -> Result<()> {
+            match ev {
+                Event::Text { value, .. } => self.out.push_str(value),
+                // Only the target attribute itself contributes its value;
+                // attributes of descendant elements do not.
+                Event::Attribute { value, .. } if id == &self.root => {
+                    self.out.push_str(value);
+                }
+                _ => {}
+            }
+            Ok(())
+        }
+    }
+    let mut c = Collect {
+        out: String::new(),
+        root: node.clone(),
+    };
+    Traverser::new(xml, doc).run_subtree(node, &mut c)?;
+    Ok(c.out)
+}
+
+/// Fetch one node's kind/value without replaying its whole subtree (the
+/// "all the information required by the data model is available" accessor).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoredNode {
+    /// An element (name id).
+    Element {
+        /// Name.
+        name: rx_xml::QNameId,
+    },
+    /// An attribute.
+    Attribute {
+        /// Name.
+        name: rx_xml::QNameId,
+        /// Value.
+        value: String,
+        /// Annotation.
+        ann: TypeAnn,
+    },
+    /// A text node.
+    Text {
+        /// Content.
+        value: String,
+        /// Annotation.
+        ann: TypeAnn,
+    },
+    /// A comment node.
+    Comment {
+        /// Content.
+        value: String,
+    },
+    /// A processing instruction.
+    Pi {
+        /// Target name.
+        target: rx_xml::QNameId,
+        /// Data.
+        value: String,
+    },
+}
+
+/// Look up a single node by `(docid, nodeid)` — the access path used when an
+/// XPath value index hands back a logical node reference (§3.4).
+pub fn fetch_node(xml: &XmlTable, doc: DocId, node: &NodeId) -> Result<Option<StoredNode>> {
+    let Some(rid) = xml.locate(doc, node)? else {
+        return Ok(None);
+    };
+    let row = xml.fetch(rid)?;
+    let hdr = read_header(&row.data)?;
+    find_in_region(xml, doc, &row.data[hdr.body_offset..], &hdr.context, node)
+}
+
+fn find_in_region(
+    xml: &XmlTable,
+    doc: DocId,
+    region: &[u8],
+    ctx: &NodeId,
+    target: &NodeId,
+) -> Result<Option<StoredNode>> {
+    for entry in read_nodes(region) {
+        let entry = entry?;
+        match &entry {
+            NodeView::Proxy { first, last, .. } => {
+                let first_abs = ctx.child(first);
+                let last_abs = ctx.child(last);
+                if target >= &first_abs
+                    && target.as_bytes() < subtree_successor(&last_abs).as_slice()
+                {
+                    // The target lives in another record; locate() from the
+                    // top again (the index probe is exact).
+                    let Some(rid) = xml.locate(doc, target)? else {
+                        return Ok(None);
+                    };
+                    let row = xml.fetch(rid)?;
+                    let hdr = read_header(&row.data)?;
+                    return find_in_region(
+                        xml,
+                        doc,
+                        &row.data[hdr.body_offset..],
+                        &hdr.context,
+                        target,
+                    );
+                }
+            }
+            other => {
+                let abs = ctx.child(other.rel());
+                if &abs == target {
+                    return Ok(Some(match other {
+                        NodeView::Element { name, .. } => StoredNode::Element { name: *name },
+                        NodeView::Attribute {
+                            name, ann, value, ..
+                        } => StoredNode::Attribute {
+                            name: *name,
+                            value: (*value).to_string(),
+                            ann: *ann,
+                        },
+                        NodeView::Text { ann, value, .. } => StoredNode::Text {
+                            value: (*value).to_string(),
+                            ann: *ann,
+                        },
+                        NodeView::Comment { value, .. } => StoredNode::Comment {
+                            value: (*value).to_string(),
+                        },
+                        NodeView::Pi { target: t, value, .. } => StoredNode::Pi {
+                            target: *t,
+                            value: (*value).to_string(),
+                        },
+                        NodeView::Proxy { .. } => unreachable!(),
+                    }));
+                }
+                if abs.is_ancestor(target) {
+                    if let NodeView::Element { content, .. } = &entry {
+                        return find_in_region(xml, doc, content, &abs, target);
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::{NoObserver, Packer};
+    use rx_storage::wal::{MemLogStore, Wal};
+    use rx_storage::{BufferPool, LockManager, MemBackend, TableSpace, TxnManager};
+    use rx_xml::name::NameDict;
+    use rx_xml::parser::Parser;
+    use rx_xml::serialize::Serializer;
+    use std::sync::Arc;
+
+    fn store(input: &str, target: usize) -> (XmlTable, NameDict) {
+        let pool = BufferPool::new(512);
+        let space = TableSpace::create(pool, 10, Arc::new(MemBackend::new())).unwrap();
+        let xt = XmlTable::create(space).unwrap();
+        let dict = NameDict::new();
+        let txns = TxnManager::new(
+            Wal::new(Arc::new(MemLogStore::new())),
+            LockManager::with_defaults(),
+        );
+        let mut records = Vec::new();
+        let mut obs = NoObserver;
+        let mut p = Packer::with_target(target, &mut records, &mut obs);
+        Parser::new(&dict).parse(input, &mut p).unwrap();
+        p.finish().unwrap();
+        let txn = txns.begin().unwrap();
+        for r in &records {
+            xt.insert_record(&txn, 1, r).unwrap();
+        }
+        txn.commit().unwrap();
+        (xt, dict)
+    }
+
+    fn roundtrip(input: &str, target: usize) -> String {
+        let (xt, dict) = store(input, target);
+        let mut ser = Serializer::new(&dict);
+        let mut sink = DropIds(&mut ser);
+        Traverser::new(&xt, 1).run(&mut sink).unwrap();
+        ser.finish()
+    }
+
+    #[test]
+    fn single_record_roundtrip() {
+        let doc = r#"<a x="1"><b>hi</b><c/><!--n--><?p q?></a>"#;
+        assert_eq!(roundtrip(doc, 3500), doc);
+    }
+
+    #[test]
+    fn multi_record_roundtrip() {
+        let filler = "t".repeat(200);
+        let doc = format!(
+            "<cat>{}</cat>",
+            (0..25)
+                .map(|i| format!("<p id=\"{i}\"><n>item{i}</n><v>{filler}</v></p>"))
+                .collect::<String>()
+        );
+        for target in [300, 600, 1500, 3500] {
+            assert_eq!(roundtrip(&doc, target), doc, "target {target}");
+        }
+    }
+
+    #[test]
+    fn deep_document_roundtrip() {
+        let mut doc = String::new();
+        for i in 0..40 {
+            doc.push_str(&format!("<l{i}>"));
+        }
+        doc.push_str("core");
+        for i in (0..40).rev() {
+            doc.push_str(&format!("</l{i}>"));
+        }
+        for target in [200, 3500] {
+            assert_eq!(roundtrip(&doc, target), doc, "target {target}");
+        }
+    }
+
+    #[test]
+    fn namespaces_survive_storage() {
+        let doc = r#"<c:r xmlns:c="urn:c"><c:x>1</c:x></c:r>"#;
+        assert_eq!(roundtrip(doc, 3500), doc);
+        assert_eq!(roundtrip(doc, 120), doc);
+    }
+
+    #[test]
+    fn traversal_stats_reflect_spilling() {
+        let filler = "q".repeat(300);
+        let doc = format!(
+            "<r>{}</r>",
+            (0..12)
+                .map(|i| format!("<p><v>{filler}</v><w>{i}</w></p>"))
+                .collect::<String>()
+        );
+        let (xt, dict) = store(&doc, 500);
+        let mut ser = Serializer::new(&dict);
+        let mut sink = DropIds(&mut ser);
+        let mut t = Traverser::new(&xt, 1);
+        t.run(&mut sink).unwrap();
+        assert!(t.stats.records_fetched > 3);
+        assert!(t.stats.index_probes >= 2);
+        assert_eq!(t.stats.nodes, 1 + 12 * 5); // r + 12 * (p, v, text, w, text)
+    }
+
+    #[test]
+    fn string_value_and_fetch_node() {
+        let filler = "s".repeat(280);
+        let doc = format!("<a><b><c>one</c><d>two</d></b><e>{filler}</e><f>three</f></a>");
+        let (xt, dict) = store(&doc, 400);
+        // b = /a/b is node 02 02.
+        let b = NodeId::from_bytes(&[0x02, 0x02]).unwrap();
+        assert_eq!(string_value(&xt, 1, &b).unwrap(), "onetwo");
+        match fetch_node(&xt, 1, &b).unwrap().unwrap() {
+            StoredNode::Element { name } => assert!(dict.matches_local(name, "b")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // f's text: f is the 3rd child of a (02 06), text (02 06 02).
+        let ftext = NodeId::from_bytes(&[0x02, 0x06, 0x02]).unwrap();
+        match fetch_node(&xt, 1, &ftext).unwrap().unwrap() {
+            StoredNode::Text { value, .. } => assert_eq!(value, "three"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Missing node.
+        let nowhere = NodeId::from_bytes(&[0x7F, 0x02]).unwrap();
+        assert!(fetch_node(&xt, 1, &nowhere).unwrap().is_none());
+    }
+
+    #[test]
+    fn subtree_replay() {
+        let doc = "<a><b><c>x</c></b><d>y</d></a>";
+        let (xt, dict) = store(doc, 3500);
+        let b = NodeId::from_bytes(&[0x02, 0x02]).unwrap();
+        let mut ser = Serializer::new(&dict);
+        let mut sink = DropIds(&mut ser);
+        Traverser::new(&xt, 1).run_subtree(&b, &mut sink).unwrap();
+        assert_eq!(ser.finish(), "<b><c>x</c></b>");
+    }
+}

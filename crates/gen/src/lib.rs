@@ -1,0 +1,401 @@
+//! # rx-gen — deterministic XML workload generators
+//!
+//! Synthetic documents for the System R/X experiments. Every generator is
+//! seeded and parameterized by exactly the knobs the paper's analyses use:
+//!
+//! * `k` — node count ([`sized_tree`], [`CatalogSpec::products`]);
+//! * `n` — node body size ([`CatalogSpec::description_len`], `text_len`);
+//! * `r` — recursion degree ([`recursive_doc`]), the variable in QuickXScan's
+//!   O(|Q|·r) bound and the Fig. 7 state-blowup comparison;
+//! * value distributions for predicate selectivity sweeps (prices/discounts
+//!   in [`catalog_xml`] follow closed forms so expected result counts are
+//!   computable without evaluating).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the paper's running catalog example
+/// (`/Catalog/Categories/Product/...`, §3.3/§4.3).
+#[derive(Debug, Clone)]
+pub struct CatalogSpec {
+    /// Number of `<Product>` elements.
+    pub products: usize,
+    /// Number of `<Categories>` groups products are spread over.
+    pub categories: usize,
+    /// Length of each product's `<Description>` payload (the body-size `n`).
+    pub description_len: usize,
+    /// Price range: prices are uniform over `[lo, hi)`.
+    pub price_lo: f64,
+    /// Upper price bound.
+    pub price_hi: f64,
+    /// Discounts cycle over `i % discount_levels * 0.05`.
+    pub discount_levels: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CatalogSpec {
+    fn default() -> Self {
+        CatalogSpec {
+            products: 100,
+            categories: 4,
+            description_len: 64,
+            price_lo: 1.0,
+            price_hi: 500.0,
+            discount_levels: 8,
+            seed: 42,
+        }
+    }
+}
+
+impl CatalogSpec {
+    /// The deterministic price of product `i` (a seeded permutation over a
+    /// uniform grid) — lets experiments compute expected selectivities
+    /// exactly.
+    pub fn price(&self, i: usize) -> f64 {
+        let n = self.products.max(1);
+        let mixed = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(self.seed)
+            % n as u64;
+        let frac = mixed as f64 / n as f64;
+        let cents = (self.price_lo + frac * (self.price_hi - self.price_lo)) * 100.0;
+        cents.round() / 100.0
+    }
+
+    /// The deterministic discount of product `i`.
+    pub fn discount(&self, i: usize) -> f64 {
+        (i % self.discount_levels.max(1)) as f64 * 0.05
+    }
+
+    /// Expected number of products with `price > threshold`.
+    pub fn expected_above(&self, threshold: f64) -> usize {
+        (0..self.products)
+            .filter(|&i| self.price(i) > threshold)
+            .count()
+    }
+}
+
+/// Generate one catalog document with all products (the large-document
+/// shape; E6's NodeID access case).
+pub fn catalog_xml(spec: &CatalogSpec) -> String {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut out = String::with_capacity(spec.products * (160 + spec.description_len));
+    out.push_str("<Catalog>");
+    let per_cat = spec.products.div_ceil(spec.categories.max(1));
+    let mut i = 0usize;
+    for c in 0..spec.categories.max(1) {
+        if i >= spec.products {
+            break;
+        }
+        out.push_str(&format!("<Categories id=\"{c}\">"));
+        for _ in 0..per_cat {
+            if i >= spec.products {
+                break;
+            }
+            push_product(&mut out, spec, i, &mut rng);
+            i += 1;
+        }
+        out.push_str("</Categories>");
+    }
+    out.push_str("</Catalog>");
+    out
+}
+
+/// Generate one *single-product* catalog document (the many-small-documents
+/// shape; E6's DocID access case).
+pub fn product_doc(spec: &CatalogSpec, i: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ i as u64);
+    let mut out = String::with_capacity(200 + spec.description_len);
+    out.push_str("<Catalog><Categories>");
+    push_product(&mut out, spec, i, &mut rng);
+    out.push_str("</Categories></Catalog>");
+    out
+}
+
+fn push_product(out: &mut String, spec: &CatalogSpec, i: usize, rng: &mut StdRng) {
+    let price = spec.price(i);
+    let discount = spec.discount(i);
+    out.push_str(&format!(
+        "<Product id=\"{i}\"><ProductName>Product-{i:06}</ProductName>\
+         <RegPrice>{price:.2}</RegPrice><Discount>{discount:.2}</Discount>\
+         <Added>20{:02}-{:02}-{:02}</Added><Description>",
+        rng.gen_range(0..25),
+        rng.gen_range(1..13),
+        rng.gen_range(1..29),
+    ));
+    push_text(out, spec.description_len, rng);
+    out.push_str("</Description></Product>");
+}
+
+fn push_text(out: &mut String, len: usize, rng: &mut StdRng) {
+    const WORDS: &[&str] = &[
+        "durable", "portable", "enterprise", "scalable", "native", "relational", "hierarchical",
+        "indexed", "streaming", "optimal", "packed", "widget", "gadget", "engine", "catalog",
+    ];
+    let mut n = 0usize;
+    while n < len {
+        let w = WORDS[rng.gen_range(0..WORDS.len())];
+        if n > 0 {
+            out.push(' ');
+            n += 1;
+        }
+        out.push_str(w);
+        n += w.len();
+    }
+}
+
+/// A document of `r` nested same-name elements (`<a><a>…</a></a>`), the
+/// recursion-degree workload of Fig. 7: queries like `//a//a//a` make naive
+/// streaming matchers track combinatorially many partial matches while
+/// QuickXScan stays at O(|Q|·r).
+pub fn recursive_doc(name: &str, r: usize, leaf_text: &str) -> String {
+    let mut out = String::with_capacity(r * (name.len() * 2 + 5) + leaf_text.len());
+    for _ in 0..r {
+        out.push('<');
+        out.push_str(name);
+        out.push('>');
+    }
+    out.push_str(leaf_text);
+    for _ in 0..r {
+        out.push_str("</");
+        out.push_str(name);
+        out.push('>');
+    }
+    out
+}
+
+/// A recursive document with fan-out: each `<part>` contains `fanout`
+/// children down to depth `r` (a bill-of-materials shape; total elements
+/// ≈ fanout^r).
+pub fn bom_doc(r: usize, fanout: usize) -> String {
+    fn rec(out: &mut String, depth: usize, fanout: usize, id: &mut usize) {
+        out.push_str(&format!("<part><name>p{}</name>", *id));
+        *id += 1;
+        if depth > 1 {
+            for _ in 0..fanout {
+                rec(out, depth - 1, fanout, id);
+            }
+        }
+        out.push_str("</part>");
+    }
+    let mut out = String::new();
+    let mut id = 0;
+    rec(&mut out, r.max(1), fanout, &mut id);
+    out
+}
+
+/// A generic tree with exactly `nodes` element nodes below a `<root>`
+/// wrapper: implicit heap-shaped tree with the given fan-out, every leaf
+/// carrying `text_len` characters. Element names cycle over a small
+/// vocabulary so name tests stay selective.
+pub fn sized_tree(nodes: usize, fanout: usize, text_len: usize, seed: u64) -> String {
+    const NAMES: &[&str] = &["section", "item", "entry", "block", "leaf", "group"];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fanout = fanout.max(1);
+    fn rec(
+        out: &mut String,
+        i: usize,
+        nodes: usize,
+        fanout: usize,
+        text_len: usize,
+        rng: &mut StdRng,
+    ) {
+        let name = NAMES[i % NAMES.len()];
+        out.push('<');
+        out.push_str(name);
+        out.push('>');
+        let first_child = i * fanout + 1;
+        let mut any = false;
+        for c in first_child..(first_child + fanout).min(nodes) {
+            any = true;
+            rec(out, c, nodes, fanout, text_len, rng);
+        }
+        if !any && text_len > 0 {
+            push_text(out, text_len, rng);
+        }
+        out.push_str("</");
+        out.push_str(name);
+        out.push('>');
+    }
+    let mut out = String::with_capacity(nodes * (12 + text_len / fanout));
+    out.push_str("<root>");
+    if nodes > 0 {
+        rec(&mut out, 0, nodes, fanout, text_len, &mut rng);
+    }
+    out.push_str("</root>");
+    out
+}
+
+/// Orders documents for the concurrency experiment: `items` line items, each
+/// a candidate for disjoint-subtree updates.
+pub fn order_doc(order_id: usize, items: usize) -> String {
+    let mut out = format!("<Order id=\"{order_id}\"><Customer>cust-{order_id}</Customer>");
+    for i in 0..items {
+        out.push_str(&format!(
+            "<Item><Sku>sku-{i}</Sku><Qty>{}</Qty><Status>new</Status></Item>",
+            (i % 9) + 1
+        ));
+    }
+    out.push_str("</Order>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rx_xml::{NameDict, Parser};
+
+    fn well_formed(doc: &str) {
+        let dict = NameDict::new();
+        Parser::new(&dict).parse_to_tokens(doc).expect("well-formed");
+    }
+
+    #[test]
+    fn catalog_shape_and_determinism() {
+        let spec = CatalogSpec::default();
+        let a = catalog_xml(&spec);
+        let b = catalog_xml(&spec);
+        assert_eq!(a, b, "seeded generation is deterministic");
+        well_formed(&a);
+        assert_eq!(a.matches("<Product ").count(), spec.products);
+        assert_eq!(a.matches("<Categories ").count(), spec.categories);
+    }
+
+    #[test]
+    fn price_selectivity_is_computable() {
+        let spec = CatalogSpec {
+            products: 1000,
+            ..Default::default()
+        };
+        let expected = spec.expected_above(250.0);
+        assert!((300..700).contains(&expected), "{expected}");
+    }
+
+    #[test]
+    fn product_docs_are_small_and_well_formed() {
+        let spec = CatalogSpec::default();
+        for i in [0, 1, 99] {
+            let d = product_doc(&spec, i);
+            well_formed(&d);
+            assert!(d.contains(&format!("id=\"{i}\"")));
+        }
+    }
+
+    #[test]
+    fn recursive_doc_depth() {
+        let d = recursive_doc("a", 5, "x");
+        well_formed(&d);
+        assert_eq!(d.matches("<a>").count(), 5);
+        assert_eq!(d, "<a><a><a><a><a>x</a></a></a></a></a>");
+    }
+
+    #[test]
+    fn bom_counts() {
+        let d = bom_doc(3, 2);
+        well_formed(&d);
+        assert_eq!(d.matches("<part>").count(), 7);
+    }
+
+    #[test]
+    fn sized_tree_node_count() {
+        for nodes in [1usize, 10, 100, 1000] {
+            let d = sized_tree(nodes, 4, 16, 7);
+            well_formed(&d);
+            let elems: usize = ["section", "item", "entry", "block", "leaf", "group"]
+                .iter()
+                .map(|n| d.matches(&format!("<{n}>")).count())
+                .sum();
+            assert_eq!(elems, nodes);
+        }
+    }
+
+    #[test]
+    fn order_doc_items() {
+        let d = order_doc(7, 12);
+        well_formed(&d);
+        assert_eq!(d.matches("<Item>").count(), 12);
+    }
+}
+
+/// An XMark-flavoured auction site document: `regions > item*` with nested
+/// mixed-content descriptions, `people > person*` with optional profiles,
+/// and `open_auctions > auction*` with growing bid histories. Exercises
+/// deeper nesting, optional elements, and skewed fan-out — shapes the flat
+/// catalog generator does not.
+pub fn auction_doc(items: usize, people: usize, auctions: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(items * 200 + people * 120 + auctions * 160);
+    out.push_str("<site><regions>");
+    for i in 0..items {
+        let region = ["africa", "asia", "europe", "namerica"][i % 4];
+        out.push_str(&format!(
+            "<item id=\"item{i}\" region=\"{region}\"><name>Item {i}</name><payment>{}</payment>\
+             <description><parlist>",
+            ["Cash", "Creditcard", "Wire"][rng.gen_range(0..3)]
+        ));
+        for _ in 0..rng.gen_range(1..4) {
+            out.push_str("<listitem><text>");
+            push_text(&mut out, 24, &mut rng);
+            out.push_str("</text></listitem>");
+        }
+        out.push_str("</parlist></description></item>");
+    }
+    out.push_str("</regions><people>");
+    for p in 0..people {
+        out.push_str(&format!(
+            "<person id=\"person{p}\"><name>Person {p}</name>\
+             <emailaddress>p{p}@example.org</emailaddress>"
+        ));
+        if p % 3 == 0 {
+            out.push_str(&format!(
+                "<profile income=\"{}\"><interest category=\"cat{}\"/></profile>",
+                20000 + rng.gen_range(0..80000),
+                p % 7
+            ));
+        }
+        out.push_str("</person>");
+    }
+    out.push_str("</people><open_auctions>");
+    for a in 0..auctions {
+        out.push_str(&format!(
+            "<open_auction id=\"auction{a}\"><itemref item=\"item{}\"/>\
+             <initial>{}.00</initial>",
+            a % items.max(1),
+            5 + rng.gen_range(0..95)
+        ));
+        let mut price = 10 + rng.gen_range(0..50);
+        for b in 0..(a % 6) {
+            price += rng.gen_range(1..20);
+            out.push_str(&format!(
+                "<bidder><personref person=\"person{}\"/><increase>{b}</increase>\
+                 <current>{price}.00</current></bidder>",
+                (a + b) % people.max(1)
+            ));
+        }
+        out.push_str(&format!("<current>{price}.00</current></open_auction>"));
+    }
+    out.push_str("</open_auctions></site>");
+    out
+}
+
+#[cfg(test)]
+mod auction_tests {
+    use super::*;
+    use rx_xml::{NameDict, Parser};
+
+    #[test]
+    fn auction_doc_shape() {
+        let d = auction_doc(20, 15, 30, 5);
+        let dict = NameDict::new();
+        Parser::new(&dict).parse_to_tokens(&d).expect("well-formed");
+        assert_eq!(d.matches("<item ").count(), 20);
+        assert_eq!(d.matches("<person ").count(), 15);
+        assert_eq!(d.matches("<open_auction ").count(), 30);
+        // Deterministic.
+        assert_eq!(d, auction_doc(20, 15, 30, 5));
+        assert_ne!(d, auction_doc(20, 15, 30, 6));
+    }
+}

@@ -1,0 +1,375 @@
+//! Buffer manager.
+//!
+//! A fixed-capacity pool of page frames shared by all table spaces, with
+//! pin/unpin reference counting, dirty tracking, LRU-ish (clock) eviction and
+//! write-back. XML services and relational services share this component
+//! unchanged — the paper lists the buffer manager among the infrastructure
+//! pieces that "need no enhancement" (§2).
+
+use crate::backend::StorageBackend;
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PageType, PAGE_SIZE};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a table space within the database.
+pub type SpaceId = u32;
+
+/// Global page identifier: (table space, page number).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PageId {
+    /// Table space the page belongs to.
+    pub space: SpaceId,
+    /// Page number within the space.
+    pub page: u32,
+}
+
+impl PageId {
+    /// Construct a page id.
+    pub fn new(space: SpaceId, page: u32) -> Self {
+        PageId { space, page }
+    }
+}
+
+struct Frame {
+    pid: PageId,
+    page: RwLock<Page>,
+    pin: AtomicUsize,
+    dirty: AtomicBool,
+    referenced: AtomicBool,
+}
+
+/// Counters exposed for experiments (buffer behaviour is part of the paper's
+/// I/O-unit argument in §3.1).
+#[derive(Default)]
+pub struct BufferStats {
+    /// Page requests satisfied from the pool.
+    pub hits: AtomicU64,
+    /// Page requests that had to read from the backend.
+    pub misses: AtomicU64,
+    /// Frames evicted to make room.
+    pub evictions: AtomicU64,
+    /// Dirty pages written back to a backend.
+    pub writebacks: AtomicU64,
+}
+
+impl BufferStats {
+    /// Snapshot the counters as plain integers.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+            self.writebacks.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.writebacks.store(0, Ordering::Relaxed);
+    }
+}
+
+struct PoolInner {
+    table: HashMap<PageId, Arc<Frame>>,
+    clock: Vec<Arc<Frame>>,
+    hand: usize,
+}
+
+/// The buffer pool: fixed number of frames, clock eviction, per-space backends.
+pub struct BufferPool {
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+    backends: RwLock<HashMap<SpaceId, Arc<dyn StorageBackend>>>,
+    /// Access counters.
+    pub stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Create a pool with room for `capacity` pages.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        assert!(capacity >= 8, "buffer pool needs at least 8 frames");
+        Arc::new(BufferPool {
+            capacity,
+            inner: Mutex::new(PoolInner {
+                table: HashMap::with_capacity(capacity),
+                clock: Vec::with_capacity(capacity),
+                hand: 0,
+            }),
+            backends: RwLock::new(HashMap::new()),
+            stats: BufferStats::default(),
+        })
+    }
+
+    /// Register the backend that stores pages for `space`.
+    pub fn register_space(&self, space: SpaceId, backend: Arc<dyn StorageBackend>) {
+        self.backends.write().insert(space, backend);
+    }
+
+    /// Drop all cached pages of `space` (used when a space is destroyed).
+    pub fn forget_space(&self, space: SpaceId) {
+        let mut inner = self.inner.lock();
+        inner.table.retain(|pid, _| pid.space != space);
+        inner.clock.retain(|f| f.pid.space != space);
+        inner.hand = 0;
+        self.backends.write().remove(&space);
+    }
+
+    fn backend(&self, space: SpaceId) -> Result<Arc<dyn StorageBackend>> {
+        self.backends
+            .read()
+            .get(&space)
+            .cloned()
+            .ok_or_else(|| StorageError::Catalog(format!("table space {space} is not registered")))
+    }
+
+    /// Fetch a page, pinning it. The returned guard unpins on drop.
+    pub fn fetch(self: &Arc<Self>, pid: PageId) -> Result<PageGuard> {
+        // Fast path: already resident.
+        {
+            let inner = self.inner.lock();
+            if let Some(f) = inner.table.get(&pid) {
+                f.pin.fetch_add(1, Ordering::AcqRel);
+                f.referenced.store(true, Ordering::Relaxed);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(PageGuard {
+                    frame: Arc::clone(f),
+                });
+            }
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        // Read outside the pool lock.
+        let backend = self.backend(pid.space)?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        backend.read_page(pid.page, &mut buf)?;
+        let page = Page::from_bytes(&buf)?;
+
+        let mut inner = self.inner.lock();
+        // Re-check: another thread may have loaded it while we read.
+        if let Some(f) = inner.table.get(&pid) {
+            f.pin.fetch_add(1, Ordering::AcqRel);
+            return Ok(PageGuard {
+                frame: Arc::clone(f),
+            });
+        }
+        let frame = Arc::new(Frame {
+            pid,
+            page: RwLock::new(page),
+            pin: AtomicUsize::new(1),
+            dirty: AtomicBool::new(false),
+            referenced: AtomicBool::new(true),
+        });
+        if inner.clock.len() >= self.capacity {
+            self.evict_one(&mut inner)?;
+        }
+        inner.table.insert(pid, Arc::clone(&frame));
+        inner.clock.push(Arc::clone(&frame));
+        Ok(PageGuard { frame })
+    }
+
+    /// Fetch a page and reformat it as a fresh page of `ptype` without reading
+    /// the backend image (the caller knows it is newly allocated).
+    pub fn fetch_new(self: &Arc<Self>, pid: PageId, ptype: PageType) -> Result<PageGuard> {
+        let g = self.fetch(pid)?;
+        {
+            let mut p = g.write();
+            p.format(ptype);
+        }
+        Ok(g)
+    }
+
+    fn evict_one(&self, inner: &mut PoolInner) -> Result<()> {
+        // Clock sweep: skip pinned frames; clear reference bits; evict the
+        // first unpinned, unreferenced frame.
+        let n = inner.clock.len();
+        for _ in 0..2 * n + 1 {
+            let i = inner.hand % n;
+            inner.hand = (inner.hand + 1) % n;
+            let f = &inner.clock[i];
+            if f.pin.load(Ordering::Acquire) > 0 {
+                continue;
+            }
+            if f.referenced.swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            let f = inner.clock.swap_remove(i);
+            inner.hand = 0;
+            inner.table.remove(&f.pid);
+            if f.dirty.load(Ordering::Acquire) {
+                let backend = self.backend(f.pid.space)?;
+                let page = f.page.read();
+                backend.write_page(f.pid.page, page.bytes().as_slice())?;
+                self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        Err(StorageError::BufferPoolExhausted)
+    }
+
+    /// Write every dirty page back to its backend (without dropping them).
+    pub fn flush_all(&self) -> Result<()> {
+        let frames: Vec<Arc<Frame>> = {
+            let inner = self.inner.lock();
+            inner.clock.to_vec()
+        };
+        for f in frames {
+            if f.dirty.swap(false, Ordering::AcqRel) {
+                let backend = self.backend(f.pid.space)?;
+                let page = f.page.read();
+                backend.write_page(f.pid.page, page.bytes().as_slice())?;
+                self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for b in self.backends.read().values() {
+            b.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Write back the dirty pages of one space only (targeted durability,
+    /// e.g. catalog flushes).
+    pub fn flush_space(&self, space: SpaceId) -> Result<()> {
+        let frames: Vec<Arc<Frame>> = {
+            let inner = self.inner.lock();
+            inner
+                .clock
+                .iter()
+                .filter(|f| f.pid.space == space)
+                .cloned()
+                .collect()
+        };
+        let backend = self.backend(space)?;
+        for f in frames {
+            if f.dirty.swap(false, Ordering::AcqRel) {
+                let page = f.page.read();
+                backend.write_page(f.pid.page, page.bytes().as_slice())?;
+                self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        backend.sync()?;
+        Ok(())
+    }
+
+    /// Number of resident pages (for tests).
+    pub fn resident(&self) -> usize {
+        self.inner.lock().clock.len()
+    }
+}
+
+/// A pinned page. Dropping the guard unpins the frame; reads and writes go
+/// through an internal reader-writer latch. Writing marks the frame dirty.
+pub struct PageGuard {
+    frame: Arc<Frame>,
+}
+
+impl PageGuard {
+    /// The page's identity.
+    pub fn pid(&self) -> PageId {
+        self.frame.pid
+    }
+
+    /// Acquire the page latch for reading.
+    pub fn read(&self) -> RwLockReadGuard<'_, Page> {
+        self.frame.page.read()
+    }
+
+    /// Acquire the page latch for writing and mark the page dirty.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Page> {
+        self.frame.dirty.store(true, Ordering::Release);
+        self.frame.page.write()
+    }
+}
+
+impl Drop for PageGuard {
+    fn drop(&mut self) {
+        self.frame.pin.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn pool_with_space(cap: usize) -> Arc<BufferPool> {
+        let pool = BufferPool::new(cap);
+        pool.register_space(1, Arc::new(MemBackend::new()));
+        pool
+    }
+
+    #[test]
+    fn fetch_hit_and_miss() {
+        let pool = pool_with_space(8);
+        let pid = PageId::new(1, 0);
+        {
+            let g = pool.fetch(pid).unwrap();
+            g.write().set_lsn(99);
+        }
+        let g = pool.fetch(pid).unwrap();
+        assert_eq!(g.read().lsn(), 99);
+        let (hits, misses, _, _) = pool.stats.snapshot();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let backend = Arc::new(MemBackend::new());
+        let pool = BufferPool::new(8);
+        pool.register_space(1, backend.clone());
+        // Dirty 20 pages through an 8-frame pool.
+        for i in 0..20u32 {
+            let g = pool.fetch(PageId::new(1, i)).unwrap();
+            g.write().set_lsn(u64::from(i) + 1);
+        }
+        pool.flush_all().unwrap();
+        // All 20 pages must be durable with their LSNs.
+        for i in 0..20u32 {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            backend.read_page(i, &mut buf).unwrap();
+            let p = Page::from_bytes(&buf).unwrap();
+            assert_eq!(p.lsn(), u64::from(i) + 1, "page {i}");
+        }
+        assert!(pool.resident() <= 8);
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let pool = pool_with_space(8);
+        let guards: Vec<_> = (0..8u32)
+            .map(|i| pool.fetch(PageId::new(1, i)).unwrap())
+            .collect();
+        // Pool full of pinned pages: next fetch must fail.
+        assert!(matches!(
+            pool.fetch(PageId::new(1, 100)),
+            Err(StorageError::BufferPoolExhausted)
+        ));
+        drop(guards);
+        assert!(pool.fetch(PageId::new(1, 100)).is_ok());
+    }
+
+    #[test]
+    fn concurrent_fetches() {
+        let pool = pool_with_space(64);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for i in 0..200u32 {
+                        let g = pool.fetch(PageId::new(1, i % 32)).unwrap();
+                        if (i + t) % 3 == 0 {
+                            g.write().set_next_page(i);
+                        } else {
+                            let _ = g.read().next_page();
+                        }
+                    }
+                });
+            }
+        });
+    }
+}

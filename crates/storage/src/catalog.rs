@@ -1,0 +1,229 @@
+//! The catalog: a persistent key-value directory.
+//!
+//! The paper reuses the relational "catalog and directory" unchanged (§2) and
+//! stores compiled binary schemas in it (§3.2, Fig. 4). This module provides
+//! the generic mechanism: a crash-safe key→value store over a heap table with
+//! an in-memory map for reads. The engine layers its object definitions
+//! (tables, XML columns, XPath value indexes, registered schemas, the XML
+//! name dictionary) on top as encoded entries under reserved key prefixes.
+
+use crate::error::{Result, StorageError};
+use crate::heap::HeapTable;
+use crate::rid::Rid;
+use crate::space::TableSpace;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// In-memory catalog entry: the record's RID plus the cached value bytes.
+type CachedEntry = (Rid, Vec<u8>);
+
+/// Persistent key-value catalog.
+pub struct Catalog {
+    heap: Arc<HeapTable>,
+    map: RwLock<BTreeMap<Vec<u8>, CachedEntry>>,
+}
+
+impl Catalog {
+    /// Create a fresh catalog in `space`.
+    pub fn create(space: Arc<TableSpace>) -> Result<Arc<Self>> {
+        let heap = HeapTable::create(space)?;
+        Ok(Arc::new(Catalog {
+            heap,
+            map: RwLock::new(BTreeMap::new()),
+        }))
+    }
+
+    /// Open an existing catalog, loading all entries into memory.
+    pub fn open(space: Arc<TableSpace>) -> Result<Arc<Self>> {
+        let heap = HeapTable::open(space)?;
+        let mut map = BTreeMap::new();
+        let mut bad: Option<StorageError> = None;
+        heap.scan(|rid, rec| {
+            match decode_entry(rec) {
+                Ok((k, v)) => {
+                    map.insert(k, (rid, v));
+                }
+                Err(e) => bad = Some(e),
+            }
+            bad.is_none()
+        })?;
+        if let Some(e) = bad {
+            return Err(e);
+        }
+        Ok(Arc::new(Catalog {
+            heap,
+            map: RwLock::new(map),
+        }))
+    }
+
+    /// Insert or replace the value stored under `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let rec = encode_entry(key, value);
+        let mut map = self.map.write();
+        match map.get(key) {
+            Some((rid, _)) => {
+                let new_rid = self.heap.update(*rid, &rec)?;
+                map.insert(key.to_vec(), (new_rid, value.to_vec()));
+            }
+            None => {
+                let rid = self.heap.insert(&rec)?;
+                map.insert(key.to_vec(), (rid, value.to_vec()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the value stored under `key`.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.map.read().get(key).map(|(_, v)| v.clone())
+    }
+
+    /// True when `key` exists.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.map.read().contains_key(key)
+    }
+
+    /// Remove `key`. Returns whether it existed.
+    pub fn delete(&self, key: &[u8]) -> Result<bool> {
+        let mut map = self.map.write();
+        match map.remove(key) {
+            Some((rid, _)) => {
+                self.heap.delete(rid)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// All `(key, value)` pairs whose key starts with `prefix`, in key order.
+    pub fn list_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.map
+            .read()
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, (_, v))| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Read a `u64` counter stored under `key` (0 when absent).
+    pub fn counter(&self, key: &[u8]) -> u64 {
+        self.get(key)
+            .and_then(|v| v.try_into().ok().map(u64::from_le_bytes))
+            .unwrap_or(0)
+    }
+
+    /// Atomically increment and persist a counter, returning the *new* value.
+    pub fn bump_counter(&self, key: &[u8]) -> Result<u64> {
+        // put() serializes on the map lock; read-modify-write under it.
+        let mut map = self.map.write();
+        let cur = map
+            .get(key)
+            .and_then(|(_, v)| v.clone().try_into().ok().map(u64::from_le_bytes))
+            .unwrap_or(0);
+        let next = cur + 1;
+        let value = next.to_le_bytes().to_vec();
+        let rec = encode_entry(key, &value);
+        match map.get(key) {
+            Some((rid, _)) => {
+                let new_rid = self.heap.update(*rid, &rec)?;
+                map.insert(key.to_vec(), (new_rid, value));
+            }
+            None => {
+                let rid = self.heap.insert(&rec)?;
+                map.insert(key.to_vec(), (rid, value));
+            }
+        }
+        Ok(next)
+    }
+
+    /// Number of catalog entries.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+fn encode_entry(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut e = crate::codec::Enc::with_capacity(key.len() + value.len() + 8);
+    e.bytes(key).bytes(value);
+    e.into_bytes()
+}
+
+fn decode_entry(rec: &[u8]) -> Result<(Vec<u8>, Vec<u8>)> {
+    let mut d = crate::codec::Dec::new(rec);
+    let k = d.bytes()?.to_vec();
+    let v = d.bytes()?.to_vec();
+    Ok((k, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::buffer::BufferPool;
+
+    fn fresh() -> (Arc<BufferPool>, Arc<MemBackend>, Arc<Catalog>) {
+        let pool = BufferPool::new(128);
+        let backend = Arc::new(MemBackend::new());
+        let ts = TableSpace::create(pool.clone(), 0, backend.clone()).unwrap();
+        let cat = Catalog::create(ts).unwrap();
+        (pool, backend, cat)
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let (_, _, cat) = fresh();
+        cat.put(b"tbl/1", b"orders").unwrap();
+        assert_eq!(cat.get(b"tbl/1").unwrap(), b"orders");
+        cat.put(b"tbl/1", b"orders-v2").unwrap();
+        assert_eq!(cat.get(b"tbl/1").unwrap(), b"orders-v2");
+        assert!(cat.delete(b"tbl/1").unwrap());
+        assert!(!cat.delete(b"tbl/1").unwrap());
+        assert!(cat.get(b"tbl/1").is_none());
+    }
+
+    #[test]
+    fn prefix_listing_in_order() {
+        let (_, _, cat) = fresh();
+        cat.put(b"idx/2", b"b").unwrap();
+        cat.put(b"idx/1", b"a").unwrap();
+        cat.put(b"tbl/1", b"t").unwrap();
+        cat.put(b"idx/3", b"c").unwrap();
+        let got: Vec<Vec<u8>> = cat
+            .list_prefix(b"idx/")
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(got, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn counters() {
+        let (_, _, cat) = fresh();
+        assert_eq!(cat.counter(b"docid"), 0);
+        assert_eq!(cat.bump_counter(b"docid").unwrap(), 1);
+        assert_eq!(cat.bump_counter(b"docid").unwrap(), 2);
+        assert_eq!(cat.counter(b"docid"), 2);
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let (pool, backend, cat) = fresh();
+        cat.put(b"a", b"1").unwrap();
+        cat.put(b"b", &vec![9u8; 2000]).unwrap();
+        cat.bump_counter(b"n").unwrap();
+        pool.flush_all().unwrap();
+        pool.forget_space(0);
+        let ts = TableSpace::open(pool, 0, backend).unwrap();
+        let cat2 = Catalog::open(ts).unwrap();
+        assert_eq!(cat2.get(b"a").unwrap(), b"1");
+        assert_eq!(cat2.get(b"b").unwrap().len(), 2000);
+        assert_eq!(cat2.counter(b"n"), 1);
+        assert_eq!(cat2.len(), 3);
+    }
+}

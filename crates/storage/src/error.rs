@@ -1,0 +1,76 @@
+//! Error types for the storage layer.
+
+use std::fmt;
+
+/// Result alias used throughout the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors raised by the relational data-management infrastructure.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant fields are self-descriptive
+pub enum StorageError {
+    /// Underlying I/O failure from a file-backed table space or log.
+    Io(std::io::Error),
+    /// A record was requested that does not exist (stale RID, deleted slot).
+    RecordNotFound { space: u32, page: u32, slot: u16 },
+    /// A page number beyond the end of the table space was referenced.
+    PageOutOfBounds { space: u32, page: u32 },
+    /// A record is too large to fit in any page.
+    RecordTooLarge { size: usize, max: usize },
+    /// The buffer pool has no evictable frame (everything is pinned).
+    BufferPoolExhausted,
+    /// A page's on-disk bytes failed a structural sanity check.
+    Corrupt(String),
+    /// A lock request timed out waiting for a conflicting holder.
+    LockTimeout,
+    /// Granting the lock would create a deadlock; the requester was chosen as victim.
+    Deadlock,
+    /// Operation attempted on a transaction that is no longer active.
+    TxnNotActive(u64),
+    /// The write-ahead log contains a malformed record.
+    WalCorrupt(String),
+    /// Catalog-level error (duplicate name, missing object, codec failure).
+    Catalog(String),
+    /// B+tree structural invariant violation.
+    Index(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::RecordNotFound { space, page, slot } => {
+                write!(f, "record not found: space {space} page {page} slot {slot}")
+            }
+            StorageError::PageOutOfBounds { space, page } => {
+                write!(f, "page {page} out of bounds in space {space}")
+            }
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page capacity of {max}")
+            }
+            StorageError::BufferPoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            StorageError::Corrupt(m) => write!(f, "page corruption: {m}"),
+            StorageError::LockTimeout => write!(f, "lock wait timed out"),
+            StorageError::Deadlock => write!(f, "deadlock detected; transaction chosen as victim"),
+            StorageError::TxnNotActive(id) => write!(f, "transaction {id} is not active"),
+            StorageError::WalCorrupt(m) => write!(f, "WAL corruption: {m}"),
+            StorageError::Catalog(m) => write!(f, "catalog error: {m}"),
+            StorageError::Index(m) => write!(f, "index error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}

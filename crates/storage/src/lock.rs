@@ -1,0 +1,509 @@
+//! Multi-granularity lock manager.
+//!
+//! §5 of the paper argues that XML concurrency needs "multiple granularity
+//! locking \[4\] given the hierarchical nature of XML data", and that prefix-
+//! encoded node IDs make the protocol efficient "because ancestor-descendant
+//! relationship can be checked by testing if one is a prefix of the other".
+//! This lock manager supports exactly that: the classical intent modes
+//! (IS/IX/S/SIX/U/X) on database, table, and document resources, plus
+//! *node-subtree* locks within a document whose conflicts are decided by node
+//! ID prefix ancestry — a lock on a node implicitly covers its whole subtree.
+//!
+//! Deadlocks are detected eagerly with a waits-for graph; the requester whose
+//! wait would close a cycle is chosen as victim.
+
+use crate::error::{Result, StorageError};
+use crate::wal::TxnId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Classical multiple-granularity lock modes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum LockMode {
+    /// Intent shared.
+    IS,
+    /// Intent exclusive.
+    IX,
+    /// Shared.
+    S,
+    /// Shared + intent exclusive.
+    SIX,
+    /// Update (read now, may upgrade to X).
+    U,
+    /// Exclusive.
+    X,
+}
+
+impl LockMode {
+    /// Gray's compatibility matrix (U treated as compatible with read modes).
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (IS, X) | (X, IS) => false,
+            (IS, _) | (_, IS) => true,
+            (IX, IX) => true,
+            (IX, _) | (_, IX) => false,
+            (S, S) => true,
+            (S, U) | (U, S) => true,
+            (S, _) | (_, S) => false,
+            (SIX, _) | (_, SIX) => false,
+            (U, U) => false,
+            (U, X) | (X, U) => false,
+            (X, X) => false,
+        }
+    }
+
+    /// Whether holding `self` already satisfies a request for `req`.
+    pub fn covers(self, req: LockMode) -> bool {
+        use LockMode::*;
+        match (self, req) {
+            (a, b) if a == b => true,
+            (X, _) => true,
+            (SIX, IS) | (SIX, IX) | (SIX, S) => true,
+            (S, IS) => true,
+            (IX, IS) => true,
+            (U, IS) | (U, S) => true,
+            _ => false,
+        }
+    }
+
+    /// The weakest mode covering both `self` and `other` (for upgrades).
+    pub fn supremum(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self.covers(other) {
+            return self;
+        }
+        if other.covers(self) {
+            return other;
+        }
+        match (self, other) {
+            (S, IX) | (IX, S) => SIX,
+            (U, IX) | (IX, U) => SIX,
+            _ => X,
+        }
+    }
+}
+
+/// A lockable resource. `Node` locks cover the subtree rooted at the node:
+/// two node locks in the same document conflict when one node ID is a byte
+/// prefix of the other.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub enum LockName {
+    /// The whole database.
+    Database,
+    /// A base table (or its XML side tables, locked together).
+    Table(u32),
+    /// One document (a DocID lock, §5.1).
+    Document {
+        /// Owning table.
+        table: u32,
+        /// Document id.
+        doc: u64,
+    },
+    /// A subtree within a document, named by its absolute node ID (§5.2).
+    Node {
+        /// Owning table.
+        table: u32,
+        /// Document id.
+        doc: u64,
+        /// Absolute (Dewey) node ID of the subtree root.
+        node: Vec<u8>,
+    },
+}
+
+/// Internal grouping key: node locks of one document share a group so prefix
+/// conflicts can be checked by scanning the group.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+enum GroupKey {
+    Plain(LockName),
+    NodeGroup { table: u32, doc: u64 },
+}
+
+fn group_of(name: &LockName) -> (GroupKey, Option<Vec<u8>>) {
+    match name {
+        LockName::Node { table, doc, node } => (
+            GroupKey::NodeGroup {
+                table: *table,
+                doc: *doc,
+            },
+            Some(node.clone()),
+        ),
+        other => (GroupKey::Plain(other.clone()), None),
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Grant {
+    txn: TxnId,
+    mode: LockMode,
+    /// Node ID for node-group grants; `None` for plain resources.
+    node: Option<Vec<u8>>,
+    count: u32,
+}
+
+fn grants_conflict(req_node: &Option<Vec<u8>>, req_mode: LockMode, g: &Grant) -> bool {
+    if g.mode.compatible(req_mode) {
+        return false;
+    }
+    match (req_node, &g.node) {
+        (Some(a), Some(b)) => a.starts_with(b.as_slice()) || b.starts_with(a.as_slice()),
+        _ => true,
+    }
+}
+
+/// One held resource: its group key and, for node locks, the node ID.
+type HeldLock = (GroupKey, Option<Vec<u8>>);
+
+#[derive(Default)]
+struct LmInner {
+    groups: HashMap<GroupKey, Vec<Grant>>,
+    /// txn -> resources it currently waits for (for the waits-for graph).
+    waits_for: HashMap<TxnId, Vec<TxnId>>,
+    /// All (group, node) pairs held per txn, for bulk release.
+    held: HashMap<TxnId, Vec<HeldLock>>,
+}
+
+impl LmInner {
+    fn blockers(&self, key: &GroupKey, node: &Option<Vec<u8>>, mode: LockMode, txn: TxnId) -> Vec<TxnId> {
+        let Some(grants) = self.groups.get(key) else {
+            return Vec::new();
+        };
+        grants
+            .iter()
+            .filter(|g| g.txn != txn && grants_conflict(node, mode, g))
+            .map(|g| g.txn)
+            .collect()
+    }
+
+    /// Would adding edges `txn -> blockers` close a cycle in the waits-for graph?
+    fn creates_cycle(&self, txn: TxnId, blockers: &[TxnId]) -> bool {
+        // DFS from each blocker; if we can reach `txn`, adding the edge cycles.
+        let mut stack: Vec<TxnId> = blockers.to_vec();
+        let mut seen: Vec<TxnId> = Vec::new();
+        while let Some(t) = stack.pop() {
+            if t == txn {
+                return true;
+            }
+            if seen.contains(&t) {
+                continue;
+            }
+            seen.push(t);
+            if let Some(next) = self.waits_for.get(&t) {
+                stack.extend_from_slice(next);
+            }
+        }
+        false
+    }
+
+    fn grant(&mut self, txn: TxnId, key: GroupKey, node: Option<Vec<u8>>, mode: LockMode) {
+        let grants = self.groups.entry(key.clone()).or_default();
+        // Same txn, same resource: upgrade or re-entrant count.
+        if let Some(g) = grants
+            .iter_mut()
+            .find(|g| g.txn == txn && g.node == node)
+        {
+            if g.mode.covers(mode) {
+                g.count += 1;
+            } else {
+                g.mode = g.mode.supremum(mode);
+                g.count += 1;
+            }
+            return;
+        }
+        grants.push(Grant {
+            txn,
+            mode,
+            node: node.clone(),
+            count: 1,
+        });
+        self.held.entry(txn).or_default().push((key, node));
+    }
+}
+
+/// The lock manager. One instance per database.
+pub struct LockManager {
+    inner: Mutex<LmInner>,
+    cond: Condvar,
+    timeout: Duration,
+}
+
+impl LockManager {
+    /// Create a lock manager with the given wait timeout.
+    pub fn new(timeout: Duration) -> Arc<Self> {
+        Arc::new(LockManager {
+            inner: Mutex::new(LmInner::default()),
+            cond: Condvar::new(),
+            timeout,
+        })
+    }
+
+    /// Create with the default 2-second timeout.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(Duration::from_secs(2))
+    }
+
+    /// Acquire `mode` on `name` for `txn`, blocking while conflicting locks
+    /// are held. Fails with [`StorageError::Deadlock`] when waiting would
+    /// close a waits-for cycle, or [`StorageError::LockTimeout`] on timeout.
+    pub fn lock(&self, txn: TxnId, name: &LockName, mode: LockMode) -> Result<()> {
+        let (key, node) = group_of(name);
+        let deadline = Instant::now() + self.timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            // Re-entrant fast path: already covered?
+            if let Some(grants) = inner.groups.get_mut(&key) {
+                if let Some(g) = grants.iter_mut().find(|g| g.txn == txn && g.node == node) {
+                    if g.mode.covers(mode) {
+                        g.count += 1;
+                        return Ok(());
+                    }
+                }
+            }
+            let blockers = inner.blockers(&key, &node, mode, txn);
+            if blockers.is_empty() {
+                inner.grant(txn, key, node, mode);
+                return Ok(());
+            }
+            if inner.creates_cycle(txn, &blockers) {
+                return Err(StorageError::Deadlock);
+            }
+            inner.waits_for.insert(txn, blockers);
+            let timed_out = self
+                .cond
+                .wait_until(&mut inner, deadline)
+                .timed_out();
+            inner.waits_for.remove(&txn);
+            if timed_out {
+                return Err(StorageError::LockTimeout);
+            }
+        }
+    }
+
+    /// Non-blocking acquire. Returns `Ok(false)` when a conflict exists.
+    pub fn try_lock(&self, txn: TxnId, name: &LockName, mode: LockMode) -> Result<bool> {
+        let (key, node) = group_of(name);
+        let mut inner = self.inner.lock();
+        if let Some(grants) = inner.groups.get_mut(&key) {
+            if let Some(g) = grants.iter_mut().find(|g| g.txn == txn && g.node == node) {
+                if g.mode.covers(mode) {
+                    g.count += 1;
+                    return Ok(true);
+                }
+            }
+        }
+        if inner.blockers(&key, &node, mode, txn).is_empty() {
+            inner.grant(txn, key, node, mode);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Release one level of `name` for `txn` (locks are re-entrant counted).
+    pub fn unlock(&self, txn: TxnId, name: &LockName) {
+        let (key, node) = group_of(name);
+        let mut inner = self.inner.lock();
+        let mut emptied = false;
+        if let Some(grants) = inner.groups.get_mut(&key) {
+            if let Some(i) = grants.iter().position(|g| g.txn == txn && g.node == node) {
+                grants[i].count -= 1;
+                if grants[i].count == 0 {
+                    grants.swap_remove(i);
+                    emptied = grants.is_empty();
+                    if let Some(h) = inner.held.get_mut(&txn) {
+                        if let Some(j) = h.iter().position(|(k, n)| *k == key && *n == node) {
+                            h.swap_remove(j);
+                        }
+                    }
+                }
+            }
+        }
+        if emptied {
+            inner.groups.remove(&key);
+        }
+        drop(inner);
+        self.cond.notify_all();
+    }
+
+    /// Release every lock held by `txn` (commit/rollback).
+    pub fn unlock_all(&self, txn: TxnId) {
+        let mut inner = self.inner.lock();
+        if let Some(resources) = inner.held.remove(&txn) {
+            for (key, node) in resources {
+                if let Some(grants) = inner.groups.get_mut(&key) {
+                    grants.retain(|g| !(g.txn == txn && g.node == node));
+                    if grants.is_empty() {
+                        inner.groups.remove(&key);
+                    }
+                }
+            }
+        }
+        inner.waits_for.remove(&txn);
+        drop(inner);
+        self.cond.notify_all();
+    }
+
+    /// Number of distinct resources locked by `txn` (for tests).
+    pub fn held_count(&self, txn: TxnId) -> usize {
+        self.inner
+            .lock()
+            .held
+            .get(&txn)
+            .map_or(0, std::vec::Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    fn lm() -> Arc<LockManager> {
+        LockManager::new(Duration::from_millis(200))
+    }
+
+    #[test]
+    fn compatibility_matrix_spot_checks() {
+        assert!(IS.compatible(IX));
+        assert!(IX.compatible(IX));
+        assert!(!IX.compatible(S));
+        assert!(S.compatible(S));
+        assert!(!S.compatible(X));
+        assert!(!SIX.compatible(SIX));
+        assert!(SIX.compatible(IS));
+        assert!(!X.compatible(IS));
+        assert!(U.compatible(S));
+        assert!(!U.compatible(U));
+    }
+
+    #[test]
+    fn shared_locks_coexist_exclusive_blocks() {
+        let lm = lm();
+        let doc = LockName::Document { table: 1, doc: 5 };
+        lm.lock(1, &doc, S).unwrap();
+        lm.lock(2, &doc, S).unwrap();
+        assert!(!lm.try_lock(3, &doc, X).unwrap());
+        lm.unlock_all(1);
+        assert!(!lm.try_lock(3, &doc, X).unwrap());
+        lm.unlock_all(2);
+        assert!(lm.try_lock(3, &doc, X).unwrap());
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let lm = lm();
+        let t = LockName::Table(1);
+        lm.lock(1, &t, S).unwrap();
+        lm.lock(1, &t, S).unwrap();
+        // Upgrade S -> X with no other holder succeeds.
+        lm.lock(1, &t, X).unwrap();
+        assert!(!lm.try_lock(2, &t, IS).unwrap());
+        lm.unlock_all(1);
+        assert!(lm.try_lock(2, &t, IS).unwrap());
+    }
+
+    #[test]
+    fn node_prefix_conflicts() {
+        let lm = lm();
+        let parent = LockName::Node {
+            table: 1,
+            doc: 1,
+            node: vec![0x02, 0x04],
+        };
+        let child = LockName::Node {
+            table: 1,
+            doc: 1,
+            node: vec![0x02, 0x04, 0x06],
+        };
+        let sibling = LockName::Node {
+            table: 1,
+            doc: 1,
+            node: vec![0x02, 0x06],
+        };
+        let other_doc = LockName::Node {
+            table: 1,
+            doc: 2,
+            node: vec![0x02, 0x04],
+        };
+        lm.lock(1, &parent, X).unwrap();
+        // Descendant of a locked subtree conflicts.
+        assert!(!lm.try_lock(2, &child, S).unwrap());
+        // Ancestor conflicts too.
+        let root = LockName::Node {
+            table: 1,
+            doc: 1,
+            node: vec![0x02],
+        };
+        assert!(!lm.try_lock(2, &root, S).unwrap());
+        // Disjoint sibling subtree is fine.
+        assert!(lm.try_lock(2, &sibling, X).unwrap());
+        // Same node id in a different document is unrelated.
+        assert!(lm.try_lock(3, &other_doc, X).unwrap());
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let lm = LockManager::new(Duration::from_secs(5));
+        let a = LockName::Document { table: 1, doc: 1 };
+        let b = LockName::Document { table: 1, doc: 2 };
+        lm.lock(1, &a, X).unwrap();
+        lm.lock(2, &b, X).unwrap();
+        let lm2 = lm.clone();
+        let h = std::thread::spawn(move || lm2.lock(1, &b, X));
+        // Give thread 1 time to start waiting on b.
+        std::thread::sleep(Duration::from_millis(100));
+        // Txn 2 requesting a would close the cycle.
+        let r = lm.lock(2, &a, X);
+        assert!(matches!(r, Err(StorageError::Deadlock)));
+        lm.unlock_all(2);
+        h.join().unwrap().unwrap();
+        lm.unlock_all(1);
+    }
+
+    #[test]
+    fn blocking_wait_resumes() {
+        let lm = LockManager::new(Duration::from_secs(5));
+        let d = LockName::Document { table: 1, doc: 9 };
+        lm.lock(1, &d, X).unwrap();
+        let lm2 = lm.clone();
+        let h = std::thread::spawn(move || {
+            let started = Instant::now();
+            lm2.lock(2, &d, S).unwrap();
+            started.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(80));
+        lm.unlock_all(1);
+        let waited = h.join().unwrap();
+        assert!(waited >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let lm = LockManager::new(Duration::from_millis(50));
+        let d = LockName::Document { table: 1, doc: 3 };
+        lm.lock(1, &d, X).unwrap();
+        assert!(matches!(
+            lm.lock(2, &d, S),
+            Err(StorageError::LockTimeout)
+        ));
+    }
+
+    #[test]
+    fn intent_locks_on_hierarchy() {
+        let lm = lm();
+        // Writer: IX on table, X on one document.
+        lm.lock(1, &LockName::Table(1), IX).unwrap();
+        lm.lock(1, &LockName::Document { table: 1, doc: 1 }, X).unwrap();
+        // Reader of a different document: IS on table, S on doc 2 — fine.
+        lm.lock(2, &LockName::Table(1), IS).unwrap();
+        assert!(lm
+            .try_lock(2, &LockName::Document { table: 1, doc: 2 }, S)
+            .unwrap());
+        // Table-level S scan conflicts with writer's IX.
+        assert!(!lm.try_lock(3, &LockName::Table(1), S).unwrap());
+        lm.unlock_all(1);
+        assert!(lm.try_lock(3, &LockName::Table(1), S).unwrap());
+    }
+}

@@ -1,0 +1,87 @@
+//! Record identifiers.
+//!
+//! A RID names a record by its physical position: `(page number, slot number)`
+//! within one table space. RIDs are what the paper's NodeID index and XPath
+//! value indexes store to point from logical node IDs into the packed records.
+
+use std::fmt;
+
+/// Physical record identifier within a table space: page number + slot.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rid {
+    /// Page number within the table space.
+    pub page: u32,
+    /// Slot number within the page's slot directory.
+    pub slot: u16,
+}
+
+impl Rid {
+    /// The all-zero RID, used as a sentinel ("no record").
+    pub const NULL: Rid = Rid { page: 0, slot: 0 };
+
+    /// Create a RID from its parts.
+    pub fn new(page: u32, slot: u16) -> Self {
+        Rid { page, slot }
+    }
+
+    /// Pack into a `u64` (page in the high 32 bits) for storage as a B+tree value.
+    pub fn to_u64(self) -> u64 {
+        (u64::from(self.page) << 16) | u64::from(self.slot)
+    }
+
+    /// Unpack from the `u64` form produced by [`Rid::to_u64`].
+    pub fn from_u64(v: u64) -> Self {
+        Rid {
+            page: (v >> 16) as u32,
+            slot: (v & 0xFFFF) as u16,
+        }
+    }
+
+    /// True for the sentinel RID.
+    pub fn is_null(self) -> bool {
+        self == Rid::NULL
+    }
+}
+
+impl fmt::Debug for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rid({}:{})", self.page, self.slot)
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u64() {
+        let rids = [
+            Rid::new(0, 0),
+            Rid::new(1, 1),
+            Rid::new(u32::MAX, u16::MAX),
+            Rid::new(12345, 678),
+        ];
+        for r in rids {
+            assert_eq!(Rid::from_u64(r.to_u64()), r);
+        }
+    }
+
+    #[test]
+    fn ordering_is_page_major() {
+        assert!(Rid::new(1, 500) < Rid::new(2, 0));
+        assert!(Rid::new(1, 1) < Rid::new(1, 2));
+    }
+
+    #[test]
+    fn null_sentinel() {
+        assert!(Rid::NULL.is_null());
+        assert!(!Rid::new(0, 1).is_null());
+        assert_eq!(Rid::NULL.to_u64(), 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Transactions.
+//!
+//! Ties together the WAL (durability), the lock manager (isolation) and
+//! runtime undo actions (atomicity). The engine performs heap/index mutations
+//! directly, then registers the corresponding log record and an undo closure
+//! with the transaction; commit forces the log and releases locks, rollback
+//! runs the undo chain in reverse (each undo re-logs its compensation so crash
+//! recovery replays aborted transactions correctly).
+
+use crate::error::{Result, StorageError};
+use crate::lock::{LockManager, LockMode, LockName};
+use crate::wal::{LogRecord, Lsn, TxnId, Wal};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Context handed to undo actions at rollback time so they can write
+/// **compensation log records** for the reversals they perform. Without
+/// compensations, crash recovery's repeat-history redo would replay an
+/// aborted transaction's forward operations with nothing to cancel them
+/// (and steal-policy page flushes could persist partial effects) — the
+/// classical reason ARIES logs CLRs.
+pub struct UndoCtx<'a> {
+    wal: &'a Wal,
+    txn: TxnId,
+}
+
+impl UndoCtx<'_> {
+    /// The rolling-back transaction's id.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// Append a compensation record (must carry this transaction's id).
+    pub fn log(&self, rec: &LogRecord) -> Result<Lsn> {
+        debug_assert_eq!(rec.txn(), Some(self.txn), "compensation must carry the txn id");
+        self.wal.log(rec)
+    }
+}
+
+/// An undo action registered alongside a forward operation. It receives an
+/// [`UndoCtx`] and must log a compensation record for every reversal it
+/// applies.
+pub type UndoAction = Box<dyn FnOnce(&UndoCtx<'_>) -> Result<()> + Send>;
+
+struct TxnState {
+    undo: Vec<UndoAction>,
+}
+
+/// Allocates transaction ids and tracks active transactions.
+pub struct TxnManager {
+    wal: Arc<Wal>,
+    locks: Arc<LockManager>,
+    next: AtomicU64,
+    active: Mutex<HashMap<TxnId, TxnState>>,
+}
+
+impl TxnManager {
+    /// Create a transaction manager over a WAL and lock manager.
+    pub fn new(wal: Arc<Wal>, locks: Arc<LockManager>) -> Arc<Self> {
+        Arc::new(TxnManager {
+            wal,
+            locks,
+            next: AtomicU64::new(1),
+            active: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The lock manager shared with this transaction domain.
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    /// The write-ahead log.
+    pub fn wal(&self) -> &Arc<Wal> {
+        &self.wal
+    }
+
+    /// Begin a new transaction.
+    pub fn begin(self: &Arc<Self>) -> Result<Txn> {
+        let id = self.next.fetch_add(1, Ordering::AcqRel);
+        self.wal.log(&LogRecord::Begin { txn: id })?;
+        self.active
+            .lock()
+            .insert(id, TxnState { undo: Vec::new() });
+        Ok(Txn {
+            id,
+            mgr: Arc::clone(self),
+            finished: false,
+        })
+    }
+
+    /// Number of in-flight transactions.
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    fn finish(&self, id: TxnId) {
+        self.active.lock().remove(&id);
+        self.locks.unlock_all(id);
+    }
+}
+
+/// A live transaction handle. Dropping an unfinished transaction rolls it back.
+pub struct Txn {
+    id: TxnId,
+    mgr: Arc<TxnManager>,
+    finished: bool,
+}
+
+impl Txn {
+    /// The transaction id (used in log records and lock ownership).
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Append a log record on behalf of this transaction.
+    pub fn log(&self, rec: &LogRecord) -> Result<u64> {
+        debug_assert_eq!(rec.txn(), Some(self.id), "record must carry this txn id");
+        self.mgr.wal.log(rec)
+    }
+
+    /// Register an undo action to run if the transaction rolls back.
+    pub fn push_undo(&self, action: UndoAction) {
+        let mut active = self.mgr.active.lock();
+        if let Some(st) = active.get_mut(&self.id) {
+            st.undo.push(action);
+        }
+    }
+
+    /// Acquire a lock for this transaction (blocking).
+    pub fn lock(&self, name: &LockName, mode: LockMode) -> Result<()> {
+        self.mgr.locks.lock(self.id, name, mode)
+    }
+
+    /// Try to acquire a lock without blocking.
+    pub fn try_lock(&self, name: &LockName, mode: LockMode) -> Result<bool> {
+        self.mgr.locks.try_lock(self.id, name, mode)
+    }
+
+    /// Commit: force the log, release locks.
+    pub fn commit(mut self) -> Result<()> {
+        if !self.finished {
+            self.mgr.wal.log(&LogRecord::Commit { txn: self.id })?;
+            self.mgr.wal.force()?;
+            self.mgr.finish(self.id);
+            self.finished = true;
+        }
+        Ok(())
+    }
+
+    /// Roll back: run undo actions in reverse, then log the abort.
+    pub fn rollback(mut self) -> Result<()> {
+        self.rollback_inner()
+    }
+
+    fn rollback_inner(&mut self) -> Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        let undo = {
+            let mut active = self.mgr.active.lock();
+            match active.get_mut(&self.id) {
+                Some(st) => std::mem::take(&mut st.undo),
+                None => return Err(StorageError::TxnNotActive(self.id)),
+            }
+        };
+        let ctx = UndoCtx {
+            wal: &self.mgr.wal,
+            txn: self.id,
+        };
+        let mut first_err = None;
+        for action in undo.into_iter().rev() {
+            if let Err(e) = action(&ctx) {
+                first_err.get_or_insert(e);
+            }
+        }
+        self.mgr.wal.log(&LogRecord::Abort { txn: self.id })?;
+        self.mgr.wal.force()?;
+        self.mgr.finish(self.id);
+        self.finished = true;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.rollback_inner();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::MemLogStore;
+    use std::sync::atomic::AtomicU32;
+
+    fn mgr() -> Arc<TxnManager> {
+        TxnManager::new(
+            Wal::new(Arc::new(MemLogStore::new())),
+            LockManager::with_defaults(),
+        )
+    }
+
+    #[test]
+    fn commit_releases_locks_and_logs() {
+        let m = mgr();
+        let t = m.begin().unwrap();
+        let id = t.id();
+        t.lock(&LockName::Table(1), LockMode::X).unwrap();
+        assert_eq!(m.locks().held_count(id), 1);
+        t.commit().unwrap();
+        assert_eq!(m.locks().held_count(id), 0);
+        assert_eq!(m.active_count(), 0);
+        let recs = m.wal().read_records().unwrap();
+        assert!(matches!(recs[0], LogRecord::Begin { txn } if txn == id));
+        assert!(matches!(recs[1], LogRecord::Commit { txn } if txn == id));
+    }
+
+    #[test]
+    fn rollback_runs_undo_in_reverse() {
+        let m = mgr();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let t = m.begin().unwrap();
+        for i in 0..3 {
+            let order = order.clone();
+            t.push_undo(Box::new(move |_ctx| {
+                order.lock().push(i);
+                Ok(())
+            }));
+        }
+        t.rollback().unwrap();
+        assert_eq!(*order.lock(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn drop_rolls_back() {
+        let m = mgr();
+        let ran = Arc::new(AtomicU32::new(0));
+        {
+            let t = m.begin().unwrap();
+            let ran = ran.clone();
+            t.push_undo(Box::new(move |_ctx| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }));
+            // dropped without commit
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(m.active_count(), 0);
+        let recs = m.wal().read_records().unwrap();
+        assert!(recs.iter().any(|r| matches!(r, LogRecord::Abort { .. })));
+    }
+
+    #[test]
+    fn distinct_ids() {
+        let m = mgr();
+        let a = m.begin().unwrap();
+        let b = m.begin().unwrap();
+        assert_ne!(a.id(), b.id());
+        a.commit().unwrap();
+        b.commit().unwrap();
+    }
+}

@@ -1,0 +1,337 @@
+//! An in-memory DOM tree.
+//!
+//! This is a **baseline**, not part of the engine's data path: §3.2 dismisses
+//! "in-memory construction of intermediate data structures" as overhead, and
+//! §4.2 reports QuickXScan "orders of magnitude better than some DOM-based
+//! algorithm". The arena tree here is what the E4 (construction cost) and E5c
+//! (DOM-based XPath) experiments compare against. It is also reused as the
+//! reference evaluator when differential-testing QuickXScan.
+
+use crate::error::Result;
+use crate::event::{Event, EventSink};
+use crate::name::{NameDict, QNameId};
+use crate::parser::Parser;
+
+/// Index of a node in the arena.
+pub type DomId = usize;
+
+/// Node payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DomKind {
+    /// The document node (arena index 0).
+    Document,
+    /// An element with its attributes (attribute *nodes* are stored inline).
+    Element {
+        /// Interned name.
+        name: QNameId,
+        /// Attributes in stream order.
+        attrs: Vec<(QNameId, String)>,
+    },
+    /// A text node.
+    Text(String),
+    /// A comment node.
+    Comment(String),
+    /// A processing instruction.
+    Pi {
+        /// Interned target.
+        target: QNameId,
+        /// Data string.
+        data: String,
+    },
+}
+
+/// One arena node.
+#[derive(Debug, Clone)]
+pub struct DomNode {
+    /// Payload.
+    pub kind: DomKind,
+    /// Parent id (self for the document node).
+    pub parent: DomId,
+    /// Child ids in document order.
+    pub children: Vec<DomId>,
+}
+
+/// An arena-allocated DOM tree.
+#[derive(Debug, Clone, Default)]
+pub struct DomTree {
+    nodes: Vec<DomNode>,
+}
+
+impl DomTree {
+    /// The document node id.
+    pub const ROOT: DomId = 0;
+
+    /// Parse text into a DOM (baseline construction path for E4).
+    pub fn parse(input: &str, dict: &NameDict) -> Result<DomTree> {
+        let mut b = DomBuilder::new();
+        Parser::new(dict).parse(input, &mut b)?;
+        Ok(b.finish())
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: DomId) -> &DomNode {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes (including the document node).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree holds only the document node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Children of `id` in document order.
+    pub fn children(&self, id: DomId) -> &[DomId] {
+        &self.nodes[id].children
+    }
+
+    /// Parent of `id` (`None` for the document node).
+    pub fn parent(&self, id: DomId) -> Option<DomId> {
+        if id == Self::ROOT {
+            None
+        } else {
+            Some(self.nodes[id].parent)
+        }
+    }
+
+    /// The root element, if any.
+    pub fn root_element(&self) -> Option<DomId> {
+        self.nodes[Self::ROOT]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| matches!(self.nodes[c].kind, DomKind::Element { .. }))
+    }
+
+    /// XPath string value: for comments and processing instructions, their
+    /// own content; otherwise the concatenation of all descendant text.
+    pub fn string_value(&self, id: DomId) -> String {
+        match &self.nodes[id].kind {
+            DomKind::Comment(c) => return c.clone(),
+            DomKind::Pi { data, .. } => return data.clone(),
+            _ => {}
+        }
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: DomId, out: &mut String) {
+        match &self.nodes[id].kind {
+            DomKind::Text(t) => out.push_str(t),
+            DomKind::Comment(_) | DomKind::Pi { .. } => {}
+            _ => {
+                for &c in &self.nodes[id].children {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Pre-order traversal visiting every node id.
+    pub fn walk(&self, mut visit: impl FnMut(DomId)) {
+        let mut stack = vec![Self::ROOT];
+        while let Some(id) = stack.pop() {
+            visit(id);
+            for &c in self.nodes[id].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+    }
+
+    /// Replay the tree as virtual SAX events (lets the DOM participate in the
+    /// shared §4.4 runtime, e.g. for serialization in E8).
+    pub fn replay(&self, sink: &mut dyn EventSink) -> Result<()> {
+        sink.event(Event::StartDocument)?;
+        self.replay_node(Self::ROOT, sink)?;
+        sink.event(Event::EndDocument)
+    }
+
+    fn replay_node(&self, id: DomId, sink: &mut dyn EventSink) -> Result<()> {
+        match &self.nodes[id].kind {
+            DomKind::Document => {
+                for &c in &self.nodes[id].children {
+                    self.replay_node(c, sink)?;
+                }
+            }
+            DomKind::Element { name, attrs } => {
+                sink.event(Event::StartElement { name: *name })?;
+                for (aname, value) in attrs {
+                    sink.event(Event::Attribute {
+                        name: *aname,
+                        value,
+                        ann: Default::default(),
+                    })?;
+                }
+                for &c in &self.nodes[id].children {
+                    self.replay_node(c, sink)?;
+                }
+                sink.event(Event::EndElement)?;
+            }
+            DomKind::Text(t) => sink.event(Event::Text {
+                value: t,
+                ann: Default::default(),
+            })?,
+            DomKind::Comment(c) => sink.event(Event::Comment { value: c })?,
+            DomKind::Pi { target, data } => sink.event(Event::Pi {
+                target: *target,
+                data,
+            })?,
+        }
+        Ok(())
+    }
+
+    /// Rough heap footprint in bytes (for the E5 memory comparison).
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = self.nodes.capacity() * std::mem::size_of::<DomNode>();
+        for n in &self.nodes {
+            total += n.children.capacity() * std::mem::size_of::<DomId>();
+            match &n.kind {
+                DomKind::Text(t) | DomKind::Comment(t) => total += t.capacity(),
+                DomKind::Element { attrs, .. } => {
+                    for (_, v) in attrs {
+                        total += v.capacity() + std::mem::size_of::<(QNameId, String)>();
+                    }
+                }
+                DomKind::Pi { data, .. } => total += data.capacity(),
+                DomKind::Document => {}
+            }
+        }
+        total
+    }
+}
+
+/// Builds a [`DomTree`] from virtual SAX events.
+pub struct DomBuilder {
+    tree: DomTree,
+    stack: Vec<DomId>,
+}
+
+impl Default for DomBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DomBuilder {
+    /// Fresh builder with an empty document node.
+    pub fn new() -> Self {
+        DomBuilder {
+            tree: DomTree {
+                nodes: vec![DomNode {
+                    kind: DomKind::Document,
+                    parent: 0,
+                    children: Vec::new(),
+                }],
+            },
+            stack: vec![DomTree::ROOT],
+        }
+    }
+
+    /// Finish and return the tree.
+    pub fn finish(self) -> DomTree {
+        self.tree
+    }
+
+    fn push_child(&mut self, kind: DomKind) -> DomId {
+        let parent = *self.stack.last().unwrap();
+        let id = self.tree.nodes.len();
+        self.tree.nodes.push(DomNode {
+            kind,
+            parent,
+            children: Vec::new(),
+        });
+        self.tree.nodes[parent].children.push(id);
+        id
+    }
+}
+
+impl EventSink for DomBuilder {
+    fn event(&mut self, ev: Event<'_>) -> Result<()> {
+        match ev {
+            Event::StartDocument | Event::EndDocument | Event::NamespaceDecl { .. } => {}
+            Event::StartElement { name } => {
+                let id = self.push_child(DomKind::Element {
+                    name,
+                    attrs: Vec::new(),
+                });
+                self.stack.push(id);
+            }
+            Event::Attribute { name, value, .. } => {
+                let cur = *self.stack.last().unwrap();
+                if let DomKind::Element { attrs, .. } = &mut self.tree.nodes[cur].kind {
+                    attrs.push((name, value.to_string()));
+                }
+            }
+            Event::Text { value, .. } => {
+                self.push_child(DomKind::Text(value.to_string()));
+            }
+            Event::Comment { value } => {
+                self.push_child(DomKind::Comment(value.to_string()));
+            }
+            Event::Pi { target, data } => {
+                self.push_child(DomKind::Pi {
+                    target,
+                    data: data.to_string(),
+                });
+            }
+            Event::EndElement => {
+                self.stack.pop();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::Serializer;
+
+    #[test]
+    fn build_and_navigate() {
+        let dict = NameDict::new();
+        let t = DomTree::parse(r#"<a x="1"><b>hi</b><c>there</c></a>"#, &dict).unwrap();
+        let root = t.root_element().unwrap();
+        assert_eq!(t.children(root).len(), 2);
+        assert_eq!(t.string_value(root), "hithere");
+        let b = t.children(root)[0];
+        assert_eq!(t.string_value(b), "hi");
+        assert_eq!(t.parent(b), Some(root));
+        assert_eq!(t.parent(DomTree::ROOT), None);
+        if let DomKind::Element { attrs, .. } = &t.node(root).kind {
+            assert_eq!(attrs.len(), 1);
+        } else {
+            panic!("root is an element");
+        }
+    }
+
+    #[test]
+    fn walk_counts_all_nodes() {
+        let dict = NameDict::new();
+        let t = DomTree::parse("<a><b/><c><d/></c></a>", &dict).unwrap();
+        let mut n = 0;
+        t.walk(|_| n += 1);
+        assert_eq!(n, 5); // document + 4 elements
+    }
+
+    #[test]
+    fn replay_matches_serializer() {
+        let dict = NameDict::new();
+        let input = r#"<cat><p price="9.99">W</p><!-- c --><?pi d?></cat>"#;
+        let t = DomTree::parse(input, &dict).unwrap();
+        let mut s = Serializer::new(&dict);
+        t.replay(&mut s).unwrap();
+        assert_eq!(s.finish(), input);
+    }
+
+    #[test]
+    fn memory_estimate_positive() {
+        let dict = NameDict::new();
+        let t = DomTree::parse("<a><b>some text content here</b></a>", &dict).unwrap();
+        assert!(t.approx_bytes() > 100);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for XML parsing, validation and the data model.
+
+use std::fmt;
+
+/// Result alias for the XML crate.
+pub type Result<T> = std::result::Result<T, XmlError>;
+
+/// Errors raised by XML parsing, validation, node-ID arithmetic and
+/// serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-descriptive
+pub enum XmlError {
+    /// The document is not well-formed.
+    Parse { offset: usize, message: String },
+    /// The document does not conform to its registered schema.
+    Validation { message: String },
+    /// A schema definition itself is malformed.
+    Schema { message: String },
+    /// A token stream or packed record is structurally invalid.
+    Stream { message: String },
+    /// Node-ID arithmetic failure (malformed Dewey bytes).
+    NodeId { message: String },
+    /// A value could not be cast to the requested type.
+    Cast { value: String, target: &'static str },
+}
+
+impl XmlError {
+    /// Shorthand for a parse error.
+    pub fn parse(offset: usize, message: impl Into<String>) -> Self {
+        XmlError::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a stream error.
+    pub fn stream(message: impl Into<String>) -> Self {
+        XmlError::Stream {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse { offset, message } => {
+                write!(f, "XML parse error at byte {offset}: {message}")
+            }
+            XmlError::Validation { message } => write!(f, "validation error: {message}"),
+            XmlError::Schema { message } => write!(f, "schema error: {message}"),
+            XmlError::Stream { message } => write!(f, "token stream error: {message}"),
+            XmlError::NodeId { message } => write!(f, "node id error: {message}"),
+            XmlError::Cast { value, target } => {
+                write!(f, "cannot cast {value:?} to {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}

@@ -1,0 +1,131 @@
+//! The virtual-SAX event model (§4.4).
+//!
+//! "As the iterator traverses through the data, each input data item is
+//! converted into a virtual SAX-like event, which is a set of parameters
+//! required by the routines performing the task. All the routines are shared."
+//!
+//! Every XML representation in the system — the parser's token stream, the
+//! packed persistent records, constructed (template + arguments) data, and
+//! in-memory sequences — can *push* its contents through this one event
+//! vocabulary into any [`EventSink`]: the serializer, the tree packer, or the
+//! QuickXScan XPath evaluator. Push (rather than pull) keeps the shared
+//! routines free of per-source lifetime plumbing and lets sources stream
+//! records from the buffer pool without materializing anything.
+
+use crate::error::Result;
+use crate::name::QNameId;
+use crate::value::TypeAnn;
+
+/// One virtual SAX event. String payloads are borrowed from the source's
+/// buffer; sinks that need to keep them copy explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event<'a> {
+    /// Document start.
+    StartDocument,
+    /// Element start. Attribute / namespace events follow immediately.
+    StartElement {
+        /// Interned qualified name.
+        name: QNameId,
+    },
+    /// A namespace declaration in scope on the current element.
+    NamespaceDecl {
+        /// Interned prefix ("" for the default namespace).
+        prefix: crate::name::StrId,
+        /// Interned namespace URI.
+        uri: crate::name::StrId,
+    },
+    /// An attribute of the current element.
+    Attribute {
+        /// Interned qualified name.
+        name: QNameId,
+        /// Attribute value (entities already resolved).
+        value: &'a str,
+        /// Optional schema type annotation.
+        ann: TypeAnn,
+    },
+    /// A text node.
+    Text {
+        /// Character content.
+        value: &'a str,
+        /// Optional schema type annotation.
+        ann: TypeAnn,
+    },
+    /// A comment node.
+    Comment {
+        /// Comment content.
+        value: &'a str,
+    },
+    /// A processing instruction.
+    Pi {
+        /// Interned target name.
+        target: QNameId,
+        /// Instruction data.
+        data: &'a str,
+    },
+    /// Element end.
+    EndElement,
+    /// Document end.
+    EndDocument,
+}
+
+/// Anything that consumes virtual SAX events.
+pub trait EventSink {
+    /// Handle one event. Returning an error aborts the producing traversal.
+    fn event(&mut self, ev: Event<'_>) -> Result<()>;
+}
+
+/// A sink that fans one event stream out to two sinks (used for pipelining,
+/// e.g. packing records while simultaneously generating index keys).
+pub struct Tee<'a, A: EventSink, B: EventSink> {
+    /// First sink.
+    pub a: &'a mut A,
+    /// Second sink.
+    pub b: &'a mut B,
+}
+
+impl<A: EventSink, B: EventSink> EventSink for Tee<'_, A, B> {
+    fn event(&mut self, ev: Event<'_>) -> Result<()> {
+        self.a.event(ev)?;
+        self.b.event(ev)
+    }
+}
+
+/// A sink that counts events by kind — handy for tests and benchmarks.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventCounter {
+    /// Element starts seen.
+    pub elements: u64,
+    /// Attributes seen.
+    pub attributes: u64,
+    /// Text nodes seen.
+    pub texts: u64,
+    /// Comments seen.
+    pub comments: u64,
+    /// Processing instructions seen.
+    pub pis: u64,
+    /// Namespace declarations seen.
+    pub namespaces: u64,
+}
+
+impl EventCounter {
+    /// Total node count (elements + attributes + texts + comments + PIs),
+    /// the paper's `k`.
+    pub fn nodes(&self) -> u64 {
+        self.elements + self.attributes + self.texts + self.comments + self.pis
+    }
+}
+
+impl EventSink for EventCounter {
+    fn event(&mut self, ev: Event<'_>) -> Result<()> {
+        match ev {
+            Event::StartElement { .. } => self.elements += 1,
+            Event::Attribute { .. } => self.attributes += 1,
+            Event::Text { .. } => self.texts += 1,
+            Event::Comment { .. } => self.comments += 1,
+            Event::Pi { .. } => self.pis += 1,
+            Event::NamespaceDecl { .. } => self.namespaces += 1,
+            _ => {}
+        }
+        Ok(())
+    }
+}

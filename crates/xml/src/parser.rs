@@ -1,0 +1,696 @@
+//! The non-validating XML parser (§3.2, Fig. 4).
+//!
+//! "Both validating and non-validating parsers are custom-made for
+//! high-performance." This parser scans the document bytes directly and emits
+//! virtual SAX events (usually into a [`crate::token::TokenWriter`], forming
+//! the buffered token stream). Namespace prefixes are resolved against the
+//! in-scope declarations, attribute order is normalized (the stream has
+//! "namespace and attribute order adjusted"), entities and CDATA are decoded,
+//! and well-formedness is enforced (tag balance, single root element,
+//! duplicate attributes, undeclared prefixes).
+
+use crate::error::{Result, XmlError};
+use crate::event::{Event, EventSink};
+use crate::name::NameDict;
+use crate::token::{TokenStream, TokenWriter};
+use crate::value::TypeAnn;
+
+/// The `xml` prefix's fixed namespace.
+pub const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+
+/// Parser configuration.
+#[derive(Clone, Copy, Debug)]
+#[derive(Default)]
+pub struct ParseOptions {
+    /// Keep whitespace-only text nodes between elements. Data-centric
+    /// documents (the paper's domain) usually drop them.
+    pub preserve_whitespace: bool,
+}
+
+
+/// A streaming, non-validating XML parser bound to a name dictionary.
+///
+/// ```
+/// use rx_xml::{NameDict, Parser};
+/// use rx_xml::serialize::serialize_stream;
+///
+/// let dict = NameDict::new();
+/// let stream = Parser::new(&dict)
+///     .parse_to_tokens(r#"<a x="1"><b>hi &amp; bye</b></a>"#)
+///     .unwrap();
+/// assert_eq!(
+///     serialize_stream(&stream, &dict).unwrap(),
+///     r#"<a x="1"><b>hi &amp; bye</b></a>"#
+/// );
+/// ```
+pub struct Parser<'d> {
+    dict: &'d NameDict,
+    opts: ParseOptions,
+}
+
+struct NsBinding {
+    prefix: String,
+    uri: String,
+}
+
+struct ParseState<'i> {
+    input: &'i [u8],
+    text: &'i str,
+    pos: usize,
+    ns: Vec<NsBinding>,
+    /// How many bindings each open element pushed.
+    ns_marks: Vec<usize>,
+    /// Raw open-tag names for end-tag matching.
+    open: Vec<&'i str>,
+    seen_root: bool,
+    scratch: String,
+}
+
+impl<'d> Parser<'d> {
+    /// Create a parser interning names into `dict`.
+    pub fn new(dict: &'d NameDict) -> Self {
+        Parser {
+            dict,
+            opts: ParseOptions::default(),
+        }
+    }
+
+    /// Create with explicit options.
+    pub fn with_options(dict: &'d NameDict, opts: ParseOptions) -> Self {
+        Parser { dict, opts }
+    }
+
+    /// Parse `input`, pushing events into `sink`.
+    pub fn parse(&self, input: &str, sink: &mut dyn EventSink) -> Result<()> {
+        let mut st = ParseState {
+            input: input.as_bytes(),
+            text: input,
+            pos: 0,
+            ns: vec![NsBinding {
+                prefix: "xml".to_string(),
+                uri: XML_NS.to_string(),
+            }],
+            ns_marks: Vec::new(),
+            open: Vec::new(),
+            seen_root: false,
+            scratch: String::new(),
+        };
+        sink.event(Event::StartDocument)?;
+        self.run(&mut st, sink)?;
+        if !st.open.is_empty() {
+            return Err(XmlError::parse(
+                st.pos,
+                format!("unclosed element <{}>", st.open.last().unwrap()),
+            ));
+        }
+        if !st.seen_root {
+            return Err(XmlError::parse(st.pos, "document has no root element"));
+        }
+        sink.event(Event::EndDocument)
+    }
+
+    /// Parse straight into a buffered token stream.
+    pub fn parse_to_tokens(&self, input: &str) -> Result<TokenStream> {
+        let mut w = TokenWriter::with_capacity(input.len());
+        self.parse(input, &mut w)?;
+        Ok(w.finish())
+    }
+
+    fn run(&self, st: &mut ParseState<'_>, sink: &mut dyn EventSink) -> Result<()> {
+        while st.pos < st.input.len() {
+            if st.input[st.pos] == b'<' {
+                match st.input.get(st.pos + 1) {
+                    Some(b'?') => self.parse_pi(st, sink)?,
+                    Some(b'!') => self.parse_bang(st, sink)?,
+                    Some(b'/') => self.parse_end_tag(st, sink)?,
+                    Some(_) => self.parse_start_tag(st, sink)?,
+                    None => return Err(XmlError::parse(st.pos, "dangling '<' at end of input")),
+                }
+            } else {
+                self.parse_text(st, sink)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_text(&self, st: &mut ParseState<'_>, sink: &mut dyn EventSink) -> Result<()> {
+        let start = st.pos;
+        while st.pos < st.input.len() && st.input[st.pos] != b'<' {
+            st.pos += 1;
+        }
+        let raw = &st.text[start..st.pos];
+        if st.open.is_empty() {
+            // Character data outside the root must be whitespace.
+            if !raw.trim().is_empty() {
+                return Err(XmlError::parse(start, "character data outside root element"));
+            }
+            return Ok(());
+        }
+        if !self.opts.preserve_whitespace && raw.trim().is_empty() {
+            return Ok(());
+        }
+        if raw.contains('&') {
+            st.scratch.clear();
+            decode_entities(raw, start, &mut st.scratch)?;
+            sink.event(Event::Text {
+                value: &st.scratch,
+                ann: TypeAnn::Untyped,
+            })
+        } else {
+            if raw.contains("]]>") {
+                return Err(XmlError::parse(start, "']]>' not allowed in character data"));
+            }
+            sink.event(Event::Text {
+                value: raw,
+                ann: TypeAnn::Untyped,
+            })
+        }
+    }
+
+    fn parse_pi(&self, st: &mut ParseState<'_>, sink: &mut dyn EventSink) -> Result<()> {
+        // st.pos at '<?'.
+        let start = st.pos;
+        st.pos += 2;
+        let target = scan_name(st)?;
+        
+        if target.eq_ignore_ascii_case("xml") {
+            // XML declaration: skip to '?>'.
+            let end = find(st, b"?>").ok_or_else(|| {
+                XmlError::parse(start, "unterminated XML declaration")
+            })?;
+            st.pos = end + 2;
+            return Ok(());
+        }
+        skip_ws(st);
+        let body_start = st.pos;
+        let end = find(st, b"?>")
+            .ok_or_else(|| XmlError::parse(start, "unterminated processing instruction"))?;
+        let data = &st.text[body_start..end];
+        st.pos = end + 2;
+        let target_id = self.dict.intern("", "", target);
+        sink.event(Event::Pi {
+            target: target_id,
+            data,
+        })
+    }
+
+    fn parse_bang(&self, st: &mut ParseState<'_>, sink: &mut dyn EventSink) -> Result<()> {
+        let start = st.pos;
+        if st.input[st.pos..].starts_with(b"<!--") {
+            st.pos += 4;
+            let end = find(st, b"-->")
+                .ok_or_else(|| XmlError::parse(start, "unterminated comment"))?;
+            let body = &st.text[st.pos..end];
+            if body.contains("--") {
+                return Err(XmlError::parse(start, "'--' not allowed inside comment"));
+            }
+            st.pos = end + 3;
+            return sink.event(Event::Comment { value: body });
+        }
+        if st.input[st.pos..].starts_with(b"<![CDATA[") {
+            if st.open.is_empty() {
+                return Err(XmlError::parse(start, "CDATA outside root element"));
+            }
+            st.pos += 9;
+            let end = find(st, b"]]>")
+                .ok_or_else(|| XmlError::parse(start, "unterminated CDATA section"))?;
+            let body = &st.text[st.pos..end];
+            st.pos = end + 3;
+            return sink.event(Event::Text {
+                value: body,
+                ann: TypeAnn::Untyped,
+            });
+        }
+        if st.input[st.pos..].starts_with(b"<!DOCTYPE") {
+            // Skip the doctype (internal subsets: bracket matching).
+            st.pos += 9;
+            let mut depth = 0i32;
+            while st.pos < st.input.len() {
+                match st.input[st.pos] {
+                    b'[' => depth += 1,
+                    b']' => depth -= 1,
+                    b'>' if depth <= 0 => {
+                        st.pos += 1;
+                        return Ok(());
+                    }
+                    _ => {}
+                }
+                st.pos += 1;
+            }
+            return Err(XmlError::parse(start, "unterminated DOCTYPE"));
+        }
+        Err(XmlError::parse(start, "unrecognized markup after '<!'"))
+    }
+
+    fn parse_end_tag(&self, st: &mut ParseState<'_>, sink: &mut dyn EventSink) -> Result<()> {
+        let start = st.pos;
+        st.pos += 2; // '</'
+        let name = scan_name(st)?;
+        skip_ws(st);
+        if st.input.get(st.pos) != Some(&b'>') {
+            return Err(XmlError::parse(st.pos, "expected '>' in end tag"));
+        }
+        st.pos += 1;
+        match st.open.pop() {
+            Some(open) if open == name => {}
+            Some(open) => {
+                return Err(XmlError::parse(
+                    start,
+                    format!("end tag </{name}> does not match open <{open}>"),
+                ))
+            }
+            None => {
+                return Err(XmlError::parse(start, format!("unexpected end tag </{name}>")))
+            }
+        }
+        // Pop this element's namespace bindings.
+        let mark = st.ns_marks.pop().expect("marks track opens");
+        st.ns.truncate(mark);
+        sink.event(Event::EndElement)
+    }
+
+    fn parse_start_tag(&self, st: &mut ParseState<'_>, sink: &mut dyn EventSink) -> Result<()> {
+        let start = st.pos;
+        st.pos += 1; // '<'
+        let name = scan_name(st)?;
+        if st.open.is_empty() && st.seen_root {
+            return Err(XmlError::parse(start, "multiple root elements"));
+        }
+
+        // Collect raw attributes first; namespace declarations must be in
+        // scope before any name resolution.
+        let mut raw_attrs: Vec<(&str, String)> = Vec::new();
+        let mut self_closing = false;
+        loop {
+            skip_ws(st);
+            match st.input.get(st.pos) {
+                Some(b'>') => {
+                    st.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    if st.input.get(st.pos + 1) != Some(&b'>') {
+                        return Err(XmlError::parse(st.pos, "expected '/>'"));
+                    }
+                    st.pos += 2;
+                    self_closing = true;
+                    break;
+                }
+                Some(_) => {
+                    let aname = scan_name(st)?;
+                    skip_ws(st);
+                    if st.input.get(st.pos) != Some(&b'=') {
+                        return Err(XmlError::parse(st.pos, "expected '=' after attribute name"));
+                    }
+                    st.pos += 1;
+                    skip_ws(st);
+                    let value = scan_attr_value(st)?;
+                    if raw_attrs.iter().any(|(n, _)| *n == aname) {
+                        return Err(XmlError::parse(
+                            st.pos,
+                            format!("duplicate attribute {aname}"),
+                        ));
+                    }
+                    raw_attrs.push((aname, value));
+                }
+                None => return Err(XmlError::parse(start, "unterminated start tag")),
+            }
+        }
+
+        // Push namespace declarations for this element.
+        let mark = st.ns.len();
+        let mut ns_events: Vec<(String, String)> = Vec::new();
+        for (aname, value) in &raw_attrs {
+            if *aname == "xmlns" {
+                st.ns.push(NsBinding {
+                    prefix: String::new(),
+                    uri: value.clone(),
+                });
+                ns_events.push((String::new(), value.clone()));
+            } else if let Some(p) = aname.strip_prefix("xmlns:") {
+                st.ns.push(NsBinding {
+                    prefix: p.to_string(),
+                    uri: value.clone(),
+                });
+                ns_events.push((p.to_string(), value.clone()));
+            }
+        }
+
+        // Resolve the element name.
+        let (prefix, local) = split_qname(name);
+        let uri = resolve(&st.ns, prefix, true)
+            .ok_or_else(|| XmlError::parse(start, format!("undeclared prefix '{prefix}'")))?;
+        let elem_name = self.dict.intern(&uri, prefix, local);
+
+        sink.event(Event::StartElement { name: elem_name })?;
+        // Namespace order adjusted: sorted by prefix.
+        ns_events.sort();
+        for (p, u) in &ns_events {
+            sink.event(Event::NamespaceDecl {
+                prefix: self.dict.intern_str(p),
+                uri: self.dict.intern_str(u),
+            })?;
+        }
+
+        // Resolve, order-normalize and emit the ordinary attributes.
+        let mut attrs: Vec<(crate::name::QNameId, String)> =
+            Vec::with_capacity(raw_attrs.len());
+        for (aname, value) in raw_attrs {
+            if aname == "xmlns" || aname.starts_with("xmlns:") {
+                continue;
+            }
+            let (aprefix, alocal) = split_qname(aname);
+            // Attributes without a prefix are in no namespace.
+            let auri = if aprefix.is_empty() {
+                String::new()
+            } else {
+                resolve(&st.ns, aprefix, false).ok_or_else(|| {
+                    XmlError::parse(start, format!("undeclared prefix '{aprefix}'"))
+                })?
+            };
+            attrs.push((self.dict.intern(&auri, aprefix, alocal), value));
+        }
+        // Attribute order adjusted: canonical (uri, local) order.
+        attrs.sort_by(|(a, _), (b, _)| {
+            let (qa, qb) = (self.dict.qname(*a), self.dict.qname(*b));
+            (qa.uri, qa.local).cmp(&(qb.uri, qb.local))
+        });
+        for (aname, value) in &attrs {
+            sink.event(Event::Attribute {
+                name: *aname,
+                value,
+                ann: TypeAnn::Untyped,
+            })?;
+        }
+
+        if self_closing {
+            st.ns.truncate(mark);
+            if st.open.is_empty() {
+                st.seen_root = true;
+            }
+            sink.event(Event::EndElement)?;
+        } else {
+            st.open.push(name);
+            st.ns_marks.push(mark);
+            if st.open.len() == 1 {
+                st.seen_root = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn skip_ws(st: &mut ParseState<'_>) {
+    while st
+        .input
+        .get(st.pos)
+        .is_some_and(|b| b.is_ascii_whitespace())
+    {
+        st.pos += 1;
+    }
+}
+
+fn find(st: &ParseState<'_>, needle: &[u8]) -> Option<usize> {
+    st.input[st.pos..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|i| st.pos + i)
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80
+}
+
+fn scan_name<'i>(st: &mut ParseState<'i>) -> Result<&'i str> {
+    let start = st.pos;
+    match st.input.get(st.pos) {
+        Some(&b) if is_name_start(b) => st.pos += 1,
+        _ => return Err(XmlError::parse(st.pos, "expected a name")),
+    }
+    while st.pos < st.input.len() && is_name_char(st.input[st.pos]) {
+        st.pos += 1;
+    }
+    Ok(&st.text[start..st.pos])
+}
+
+fn scan_attr_value(st: &mut ParseState<'_>) -> Result<String> {
+    let quote = match st.input.get(st.pos) {
+        Some(&q @ (b'"' | b'\'')) => q,
+        _ => return Err(XmlError::parse(st.pos, "attribute value must be quoted")),
+    };
+    st.pos += 1;
+    let start = st.pos;
+    while st.pos < st.input.len() && st.input[st.pos] != quote {
+        if st.input[st.pos] == b'<' {
+            return Err(XmlError::parse(st.pos, "'<' not allowed in attribute value"));
+        }
+        st.pos += 1;
+    }
+    if st.pos >= st.input.len() {
+        return Err(XmlError::parse(start, "unterminated attribute value"));
+    }
+    let raw = &st.text[start..st.pos];
+    st.pos += 1;
+    if raw.contains('&') {
+        let mut out = String::with_capacity(raw.len());
+        decode_entities(raw, start, &mut out)?;
+        Ok(out)
+    } else {
+        Ok(raw.to_string())
+    }
+}
+
+fn split_qname(name: &str) -> (&str, &str) {
+    match name.find(':') {
+        Some(i) => (&name[..i], &name[i + 1..]),
+        None => ("", name),
+    }
+}
+
+fn resolve(ns: &[NsBinding], prefix: &str, default_applies: bool) -> Option<String> {
+    if prefix.is_empty() && !default_applies {
+        return Some(String::new());
+    }
+    for b in ns.iter().rev() {
+        if b.prefix == prefix {
+            return Some(b.uri.clone());
+        }
+    }
+    if prefix.is_empty() {
+        Some(String::new()) // no default declaration ⇒ no namespace
+    } else {
+        None
+    }
+}
+
+/// Decode the five predefined entities and numeric character references.
+pub fn decode_entities(raw: &str, base_offset: usize, out: &mut String) -> Result<()> {
+    let mut rest = raw;
+    let mut consumed = 0usize;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        let after = &rest[i + 1..];
+        let semi = after.find(';').ok_or_else(|| {
+            XmlError::parse(base_offset + consumed + i, "unterminated entity reference")
+        })?;
+        let ent = &after[..semi];
+        match ent {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let code = u32::from_str_radix(&ent[2..], 16).map_err(|_| {
+                    XmlError::parse(base_offset + consumed + i, "bad hex character reference")
+                })?;
+                out.push(char::from_u32(code).ok_or_else(|| {
+                    XmlError::parse(base_offset + consumed + i, "invalid character reference")
+                })?);
+            }
+            _ if ent.starts_with('#') => {
+                let code: u32 = ent[1..].parse().map_err(|_| {
+                    XmlError::parse(base_offset + consumed + i, "bad character reference")
+                })?;
+                out.push(char::from_u32(code).ok_or_else(|| {
+                    XmlError::parse(base_offset + consumed + i, "invalid character reference")
+                })?);
+            }
+            other => {
+                return Err(XmlError::parse(
+                    base_offset + consumed + i,
+                    format!("unknown entity &{other};"),
+                ))
+            }
+        }
+        consumed += i + 1 + semi + 1;
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventCounter;
+
+    fn events(input: &str) -> Result<Vec<String>> {
+        let dict = NameDict::new();
+        let parser = Parser::new(&dict);
+        struct Collect<'d> {
+            dict: &'d NameDict,
+            out: Vec<String>,
+        }
+        impl EventSink for Collect<'_> {
+            fn event(&mut self, ev: Event<'_>) -> Result<()> {
+                let s = match ev {
+                    Event::StartDocument => "startdoc".to_string(),
+                    Event::EndDocument => "enddoc".to_string(),
+                    Event::StartElement { name } => {
+                        let q = self.dict.qname(name);
+                        format!("elem {}:{}", self.dict.str(q.uri), self.dict.str(q.local))
+                    }
+                    Event::EndElement => "end".to_string(),
+                    Event::Attribute { name, value, .. } => {
+                        format!("attr {}={}", self.dict.local_of(name), value)
+                    }
+                    Event::Text { value, .. } => format!("text {value}"),
+                    Event::Comment { value } => format!("comment {value}"),
+                    Event::Pi { target, data } => {
+                        format!("pi {} {}", self.dict.local_of(target), data)
+                    }
+                    Event::NamespaceDecl { prefix, uri } => {
+                        format!("ns {}={}", self.dict.str(prefix), self.dict.str(uri))
+                    }
+                };
+                self.out.push(s);
+                Ok(())
+            }
+        }
+        let mut c = Collect {
+            dict: &dict,
+            out: Vec::new(),
+        };
+        parser.parse(input, &mut c)?;
+        Ok(c.out)
+    }
+
+    #[test]
+    fn simple_document() {
+        let evs = events(r#"<a x="1"><b>hi</b></a>"#).unwrap();
+        assert_eq!(
+            evs,
+            vec![
+                "startdoc", "elem :a", "attr x=1", "elem :b", "text hi", "end", "end", "enddoc"
+            ]
+        );
+    }
+
+    #[test]
+    fn whitespace_dropped_by_default() {
+        let evs = events("<a>\n  <b/>\n</a>").unwrap();
+        assert!(!evs.iter().any(|e| e.starts_with("text")));
+        let dict = NameDict::new();
+        let p = Parser::with_options(
+            &dict,
+            ParseOptions {
+                preserve_whitespace: true,
+            },
+        );
+        let mut c = EventCounter::default();
+        p.parse("<a>\n  <b/>\n</a>", &mut c).unwrap();
+        assert_eq!(c.texts, 2);
+    }
+
+    #[test]
+    fn namespaces_resolved() {
+        let evs = events(
+            r#"<c:cat xmlns:c="urn:c" xmlns="urn:d"><item c:id="7"/></c:cat>"#,
+        )
+        .unwrap();
+        assert!(evs.contains(&"elem urn:c:cat".to_string()));
+        assert!(evs.contains(&"elem urn:d:item".to_string()));
+        assert!(evs.contains(&"ns c=urn:c".to_string()));
+        assert!(evs.contains(&"attr id=7".to_string()));
+    }
+
+    #[test]
+    fn undeclared_prefix_fails() {
+        assert!(events("<p:a/>").is_err());
+        assert!(events(r#"<a q:x="1"/>"#).is_err());
+    }
+
+    #[test]
+    fn attribute_order_normalized() {
+        // zebra before apple lexically reversed: stream sorts by interning
+        // order of (uri, local), which is first-seen order per database —
+        // deterministic for identical documents.
+        let a = events(r#"<a zebra="1" apple="2"/>"#).unwrap();
+        let b = events(r#"<a zebra="1" apple="2"/>"#).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn entities_and_cdata() {
+        let evs = events("<a>&lt;tag&gt; &amp; &#65;&#x42;<![CDATA[<raw>&amp;]]></a>").unwrap();
+        assert!(evs.contains(&"text <tag> & AB".to_string()));
+        assert!(evs.contains(&"text <raw>&amp;".to_string()));
+        assert!(events("<a>&undefined;</a>").is_err());
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let evs = events("<?xml version=\"1.0\"?><!-- hello --><a><?go fast?></a>").unwrap();
+        assert!(evs.contains(&"comment  hello ".to_string()));
+        assert!(evs.contains(&"pi go fast".to_string()));
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        let evs = events("<!DOCTYPE a [<!ELEMENT a ANY>]><a/>").unwrap();
+        assert!(evs.contains(&"elem :a".to_string()));
+    }
+
+    #[test]
+    fn well_formedness_errors() {
+        assert!(events("<a><b></a></b>").is_err(), "mismatched tags");
+        assert!(events("<a>").is_err(), "unclosed");
+        assert!(events("<a/><b/>").is_err(), "two roots");
+        assert!(events("text<a/>").is_err(), "text before root");
+        assert!(events(r#"<a x="1" x="2"/>"#).is_err(), "duplicate attr");
+        assert!(events("").is_err(), "empty input");
+        assert!(events("<a x=1/>").is_err(), "unquoted attribute");
+    }
+
+    #[test]
+    fn roundtrip_to_token_stream() {
+        let dict = NameDict::new();
+        let p = Parser::new(&dict);
+        let stream = p
+            .parse_to_tokens(r#"<cat><p price="9.99">Widget</p><p price="19.99">Gadget</p></cat>"#)
+            .unwrap();
+        let mut c = EventCounter::default();
+        stream.replay(&mut c).unwrap();
+        assert_eq!(c.elements, 3);
+        assert_eq!(c.attributes, 2);
+        assert_eq!(c.texts, 2);
+    }
+
+    #[test]
+    fn nested_namespace_scoping() {
+        let evs = events(
+            r#"<a xmlns="urn:1"><b xmlns="urn:2"><c/></b><d/></a>"#,
+        )
+        .unwrap();
+        let elems: Vec<&String> = evs.iter().filter(|e| e.starts_with("elem")).collect();
+        assert_eq!(
+            elems,
+            vec!["elem urn:1:a", "elem urn:2:b", "elem urn:2:c", "elem urn:1:d"]
+        );
+    }
+}

@@ -1,0 +1,1477 @@
+//! XML Schema subset: compiler and table-driven validation VM (§3.2, Fig. 4).
+//!
+//! "An XML schema has to be registered before it can be used. During the
+//! registration, it is compiled into a binary format like a parsing table and
+//! stored in the catalog. At the execution time, the binary schema is loaded
+//! and executed by a validation runtime to generate a token stream."
+//!
+//! The subset covers the data-centric core: global elements, named and
+//! anonymous complex types with `sequence`/`choice` content models and
+//! `minOccurs`/`maxOccurs`, attributes with `use="required"`, simple types
+//! (`xs:string`, `xs:double`, `xs:decimal`, `xs:integer`, `xs:boolean`,
+//! `xs:date`), and simple content with attributes (`xs:simpleContent` /
+//! `xs:extension`).
+//!
+//! Compilation lowers every content model to a **DFA transition table** over
+//! child-element symbols (Glushkov-style NFA → subset construction) — the
+//! "parsing table" of the paper. The [`ValidatorVm`] is then a pure
+//! table-walker: one state per open element, O(1)-ish transitions, emitting a
+//! *type-annotated* token stream.
+
+use crate::error::{Result, XmlError};
+use crate::event::{Event, EventSink};
+use crate::name::NameDict;
+use crate::parser::Parser;
+use crate::token::{get_str, get_varint, put_str, put_varint, TokenStream, TokenWriter};
+use crate::value::{Date, Decimal, TypeAnn};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Built-in simple types supported by the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SimpleType {
+    /// xs:string (always valid).
+    String = 1,
+    /// xs:double.
+    Double = 2,
+    /// xs:decimal.
+    Decimal = 3,
+    /// xs:boolean.
+    Boolean = 4,
+    /// xs:date.
+    Date = 5,
+    /// xs:integer.
+    Integer = 6,
+}
+
+impl SimpleType {
+    fn from_xsd(name: &str) -> Option<SimpleType> {
+        Some(match name {
+            "string" | "token" | "normalizedString" | "anyURI" => SimpleType::String,
+            "double" | "float" => SimpleType::Double,
+            "decimal" => SimpleType::Decimal,
+            "boolean" => SimpleType::Boolean,
+            "date" => SimpleType::Date,
+            "integer" | "int" | "long" | "short" | "nonNegativeInteger" | "positiveInteger" => {
+                SimpleType::Integer
+            }
+            _ => return None,
+        })
+    }
+
+    fn from_u8(v: u8) -> Result<SimpleType> {
+        Ok(match v {
+            1 => SimpleType::String,
+            2 => SimpleType::Double,
+            3 => SimpleType::Decimal,
+            4 => SimpleType::Boolean,
+            5 => SimpleType::Date,
+            6 => SimpleType::Integer,
+            other => {
+                return Err(XmlError::Schema {
+                    message: format!("bad simple type byte {other}"),
+                })
+            }
+        })
+    }
+
+    /// The token annotation this type stamps on validated values.
+    pub fn annotation(self) -> TypeAnn {
+        match self {
+            SimpleType::String => TypeAnn::String,
+            SimpleType::Double => TypeAnn::Double,
+            SimpleType::Decimal => TypeAnn::Decimal,
+            SimpleType::Boolean => TypeAnn::Boolean,
+            SimpleType::Date => TypeAnn::Date,
+            SimpleType::Integer => TypeAnn::Integer,
+        }
+    }
+
+    /// Check a lexical value against this type.
+    pub fn check(self, value: &str) -> Result<()> {
+        let ok = match self {
+            SimpleType::String => true,
+            SimpleType::Double => value.trim().parse::<f64>().is_ok(),
+            SimpleType::Decimal => Decimal::parse(value).is_ok(),
+            SimpleType::Boolean => matches!(value.trim(), "true" | "false" | "0" | "1"),
+            SimpleType::Date => Date::parse(value).is_ok(),
+            SimpleType::Integer => value.trim().parse::<i64>().is_ok(),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(XmlError::Validation {
+                message: format!("value {value:?} is not a valid {self:?}"),
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source model (what the .xsd parses into)
+// ---------------------------------------------------------------------------
+
+/// Reference to an element's type: a built-in simple type or a complex type
+/// by index into [`SchemaDoc::types`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeRef {
+    /// A built-in simple type.
+    Simple(SimpleType),
+    /// Index of a complex type.
+    Complex(usize),
+}
+
+/// An attribute declaration.
+#[derive(Debug, Clone)]
+pub struct AttrDecl {
+    /// Attribute local name.
+    pub name: String,
+    /// Value type.
+    pub ty: SimpleType,
+    /// Whether `use="required"`.
+    pub required: bool,
+}
+
+/// A content-model particle with occurrence bounds.
+#[derive(Debug, Clone)]
+pub struct Particle {
+    /// The term.
+    pub term: Term,
+    /// minOccurs.
+    pub min: u32,
+    /// maxOccurs (`None` = unbounded).
+    pub max: Option<u32>,
+}
+
+/// A particle term.
+#[derive(Debug, Clone)]
+pub enum Term {
+    /// A local element declaration.
+    Element {
+        /// Element local name.
+        name: String,
+        /// Its type.
+        ty: TypeRef,
+    },
+    /// Ordered sequence.
+    Seq(Vec<Particle>),
+    /// Exclusive choice.
+    Choice(Vec<Particle>),
+}
+
+/// Content of a complex type.
+#[derive(Debug, Clone)]
+pub enum Content {
+    /// No children, no text.
+    Empty,
+    /// Text-only content of a simple type (possibly with attributes).
+    Simple(SimpleType),
+    /// Element-only content governed by a model.
+    Model(Particle),
+}
+
+/// A complex type definition.
+#[derive(Debug, Clone)]
+pub struct ComplexType {
+    /// Type name ("" for anonymous).
+    pub name: String,
+    /// Attribute declarations.
+    pub attrs: Vec<AttrDecl>,
+    /// Content.
+    pub content: Content,
+}
+
+/// A parsed schema document.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaDoc {
+    /// The schema's target namespace.
+    pub target_ns: String,
+    /// Global element declarations.
+    pub globals: Vec<(String, TypeRef)>,
+    /// All complex types (named and anonymous).
+    pub types: Vec<ComplexType>,
+}
+
+// ---------------------------------------------------------------------------
+// .xsd front end
+// ---------------------------------------------------------------------------
+
+const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema";
+
+/// Parse an `.xsd` document (our subset) into a [`SchemaDoc`].
+pub fn parse_xsd(input: &str) -> Result<SchemaDoc> {
+    use crate::dom::{DomKind, DomTree};
+    let dict = NameDict::new();
+    let dom = DomTree::parse(input, &dict)?;
+
+    struct Ctx<'a> {
+        dom: &'a DomTree,
+        dict: &'a NameDict,
+        doc: SchemaDoc,
+        named: HashMap<String, usize>,
+        /// (type index, referenced type name) fixups for forward references.
+        fixups: Vec<(usize, String)>,
+    }
+
+    impl Ctx<'_> {
+        fn is_xsd(&self, id: usize, local: &str) -> bool {
+            matches!(&self.dom.node(id).kind,
+                DomKind::Element { name, .. } if self.dict.matches(*name, XSD_NS, local))
+        }
+
+        fn attr(&self, id: usize, name: &str) -> Option<String> {
+            if let DomKind::Element { attrs, .. } = &self.dom.node(id).kind {
+                attrs
+                    .iter()
+                    .find(|(n, _)| self.dict.matches_local(*n, name))
+                    .map(|(_, v)| v.clone())
+            } else {
+                None
+            }
+        }
+
+        fn elem_children(&self, id: usize) -> Vec<usize> {
+            self.dom
+                .children(id)
+                .iter()
+                .copied()
+                .filter(|&c| matches!(self.dom.node(c).kind, DomKind::Element { .. }))
+                .collect()
+        }
+
+        fn type_from_name(&mut self, tname: &str) -> Result<TypeRef> {
+            let local = tname.rsplit(':').next().unwrap_or(tname);
+            if let Some(st) = SimpleType::from_xsd(local) {
+                return Ok(TypeRef::Simple(st));
+            }
+            if let Some(&idx) = self.named.get(local) {
+                return Ok(TypeRef::Complex(idx));
+            }
+            // Forward reference: allocate a placeholder to patch later.
+            let idx = self.doc.types.len();
+            self.doc.types.push(ComplexType {
+                name: format!("\u{0}fwd:{local}"),
+                attrs: Vec::new(),
+                content: Content::Empty,
+            });
+            self.fixups.push((idx, local.to_string()));
+            Ok(TypeRef::Complex(idx))
+        }
+
+        fn occurs(&self, id: usize) -> Result<(u32, Option<u32>)> {
+            let min = match self.attr(id, "minOccurs") {
+                Some(v) => v.parse().map_err(|_| XmlError::Schema {
+                    message: format!("bad minOccurs {v:?}"),
+                })?,
+                None => 1,
+            };
+            let max = match self.attr(id, "maxOccurs") {
+                Some(v) if v == "unbounded" => None,
+                Some(v) => Some(v.parse().map_err(|_| XmlError::Schema {
+                    message: format!("bad maxOccurs {v:?}"),
+                })?),
+                None => Some(1),
+            };
+            if let Some(m) = max {
+                if m < min {
+                    return Err(XmlError::Schema {
+                        message: format!("maxOccurs {m} < minOccurs {min}"),
+                    });
+                }
+                if m > 64 {
+                    return Err(XmlError::Schema {
+                        message: "maxOccurs larger than 64 is not supported (use unbounded)"
+                            .into(),
+                    });
+                }
+            }
+            Ok((min, max))
+        }
+
+        fn parse_element_decl(&mut self, id: usize) -> Result<(String, TypeRef)> {
+            let name = self.attr(id, "name").ok_or_else(|| XmlError::Schema {
+                message: "xs:element requires a name".into(),
+            })?;
+            if let Some(tname) = self.attr(id, "type") {
+                return Ok((name, self.type_from_name(&tname)?));
+            }
+            // Inline complexType?
+            for c in self.elem_children(id) {
+                if self.is_xsd(c, "complexType") {
+                    let idx = self.parse_complex_type(c, "")?;
+                    return Ok((name, TypeRef::Complex(idx)));
+                }
+                if self.is_xsd(c, "simpleType") {
+                    // Only restriction of a built-in.
+                    for r in self.elem_children(c) {
+                        if self.is_xsd(r, "restriction") {
+                            if let Some(base) = self.attr(r, "base") {
+                                return Ok((name, self.type_from_name(&base)?));
+                            }
+                        }
+                    }
+                }
+            }
+            // No type at all: anything goes — treat as string.
+            Ok((name, TypeRef::Simple(SimpleType::String)))
+        }
+
+        fn parse_particle(&mut self, id: usize) -> Result<Particle> {
+            let (min, max) = self.occurs(id)?;
+            if self.is_xsd(id, "element") {
+                let (name, ty) = self.parse_element_decl(id)?;
+                return Ok(Particle {
+                    term: Term::Element { name, ty },
+                    min,
+                    max,
+                });
+            }
+            if self.is_xsd(id, "sequence") || self.is_xsd(id, "choice") {
+                let mut items = Vec::new();
+                for c in self.elem_children(id) {
+                    items.push(self.parse_particle(c)?);
+                }
+                let term = if self.is_xsd(id, "sequence") {
+                    Term::Seq(items)
+                } else {
+                    Term::Choice(items)
+                };
+                return Ok(Particle { term, min, max });
+            }
+            Err(XmlError::Schema {
+                message: "unsupported particle (expected element/sequence/choice)".into(),
+            })
+        }
+
+        fn parse_attrs(&mut self, id: usize, out: &mut Vec<AttrDecl>) -> Result<()> {
+            for c in self.elem_children(id) {
+                if self.is_xsd(c, "attribute") {
+                    let name = self.attr(c, "name").ok_or_else(|| XmlError::Schema {
+                        message: "xs:attribute requires a name".into(),
+                    })?;
+                    let ty = match self.attr(c, "type") {
+                        Some(t) => {
+                            let local = t.rsplit(':').next().unwrap_or(&t).to_string();
+                            SimpleType::from_xsd(&local).ok_or_else(|| XmlError::Schema {
+                                message: format!("attribute type {t:?} must be a built-in"),
+                            })?
+                        }
+                        None => SimpleType::String,
+                    };
+                    let required = self.attr(c, "use").as_deref() == Some("required");
+                    out.push(AttrDecl { name, ty, required });
+                }
+            }
+            Ok(())
+        }
+
+        fn parse_complex_type(&mut self, id: usize, name: &str) -> Result<usize> {
+            let idx = self.doc.types.len();
+            self.doc.types.push(ComplexType {
+                name: name.to_string(),
+                attrs: Vec::new(),
+                content: Content::Empty,
+            });
+            if !name.is_empty() {
+                self.named.insert(name.to_string(), idx);
+            }
+            let mut attrs = Vec::new();
+            let mut content = Content::Empty;
+            self.parse_attrs(id, &mut attrs)?;
+            for c in self.elem_children(id) {
+                if self.is_xsd(c, "sequence") || self.is_xsd(c, "choice") {
+                    content = Content::Model(self.parse_particle(c)?);
+                } else if self.is_xsd(c, "simpleContent") {
+                    for e in self.elem_children(c) {
+                        if self.is_xsd(e, "extension") {
+                            let base = self.attr(e, "base").ok_or_else(|| XmlError::Schema {
+                                message: "xs:extension requires a base".into(),
+                            })?;
+                            let local = base.rsplit(':').next().unwrap_or(&base);
+                            let st =
+                                SimpleType::from_xsd(local).ok_or_else(|| XmlError::Schema {
+                                    message: format!("simpleContent base {base:?} must be built-in"),
+                                })?;
+                            content = Content::Simple(st);
+                            self.parse_attrs(e, &mut attrs)?;
+                        }
+                    }
+                }
+            }
+            self.doc.types[idx] = ComplexType {
+                name: name.to_string(),
+                attrs,
+                content,
+            };
+            Ok(idx)
+        }
+    }
+
+    let root = dom.root_element().ok_or_else(|| XmlError::Schema {
+        message: "empty schema document".into(),
+    })?;
+    let mut ctx = Ctx {
+        dom: &dom,
+        dict: &dict,
+        doc: SchemaDoc::default(),
+        named: HashMap::new(),
+        fixups: Vec::new(),
+    };
+    if !ctx.is_xsd(root, "schema") {
+        return Err(XmlError::Schema {
+            message: "root element must be xs:schema".into(),
+        });
+    }
+    ctx.doc.target_ns = ctx.attr(root, "targetNamespace").unwrap_or_default();
+
+    // First pass: named complex types (so references mostly resolve inline).
+    for c in ctx.elem_children(root) {
+        if ctx.is_xsd(c, "complexType") {
+            let name = ctx.attr(c, "name").ok_or_else(|| XmlError::Schema {
+                message: "top-level xs:complexType requires a name".into(),
+            })?;
+            ctx.parse_complex_type(c, &name)?;
+        }
+    }
+    // Second pass: global elements.
+    for c in ctx.elem_children(root) {
+        if ctx.is_xsd(c, "element") {
+            let (name, ty) = ctx.parse_element_decl(c)?;
+            ctx.doc.globals.push((name, ty));
+        }
+    }
+    // Patch forward references: redirect placeholder types to the real ones.
+    let fixups = std::mem::take(&mut ctx.fixups);
+    for (idx, name) in fixups {
+        let target = *ctx.named.get(&name).ok_or_else(|| XmlError::Schema {
+            message: format!("unresolved type reference {name:?}"),
+        })?;
+        ctx.doc.types[idx] = ctx.doc.types[target].clone();
+    }
+    if ctx.doc.globals.is_empty() {
+        return Err(XmlError::Schema {
+            message: "schema declares no global elements".into(),
+        });
+    }
+    Ok(ctx.doc)
+}
+
+// ---------------------------------------------------------------------------
+// Compiler: content models → DFA tables → binary format
+// ---------------------------------------------------------------------------
+
+/// Symbol id within a compiled schema (an element local name).
+pub type SymId = u32;
+
+/// A compiled DFA: state 0 is the start state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dfa {
+    /// Per-state transition maps (symbol → next state).
+    pub trans: Vec<BTreeMap<SymId, u32>>,
+    /// Accepting states.
+    pub accepting: Vec<bool>,
+}
+
+impl Dfa {
+    /// Advance from `state` on `sym`.
+    pub fn step(&self, state: u32, sym: SymId) -> Option<u32> {
+        self.trans[state as usize].get(&sym).copied()
+    }
+
+    /// Is `state` accepting?
+    pub fn accepts(&self, state: u32) -> bool {
+        self.accepting[state as usize]
+    }
+}
+
+// Thompson-style NFA with epsilon transitions.
+#[derive(Default)]
+struct Nfa {
+    // (state, sym) -> states, plus epsilon edges.
+    trans: Vec<Vec<(SymId, usize)>>,
+    eps: Vec<Vec<usize>>,
+}
+
+impl Nfa {
+    fn add_state(&mut self) -> usize {
+        self.trans.push(Vec::new());
+        self.eps.push(Vec::new());
+        self.trans.len() - 1
+    }
+
+    /// Build the fragment for `p` between fresh `start`/`end` states.
+    fn build(&mut self, p: &Particle, syms: &HashMap<String, SymId>) -> (usize, usize) {
+        let (s, e) = self.build_once(&p.term, syms);
+        // Apply occurrence bounds by chaining copies.
+        let start = self.add_state();
+        let end = self.add_state();
+        let mut cur = start;
+        let min = p.min as usize;
+        for _ in 0..min {
+            let (cs, ce) = self.clone_fragment(s, e, &p.term, syms);
+            self.eps[cur].push(cs);
+            cur = ce;
+        }
+        match p.max {
+            None => {
+                // Kleene tail: cur -> loop fragment -> cur, cur -> end.
+                let (cs, ce) = self.clone_fragment(s, e, &p.term, syms);
+                self.eps[cur].push(cs);
+                self.eps[ce].push(cur);
+                self.eps[cur].push(end);
+            }
+            Some(max) => {
+                let extra = max as usize - min;
+                self.eps[cur].push(end);
+                for _ in 0..extra {
+                    let (cs, ce) = self.clone_fragment(s, e, &p.term, syms);
+                    self.eps[cur].push(cs);
+                    self.eps[ce].push(end);
+                    cur = ce;
+                }
+            }
+        }
+        (start, end)
+    }
+
+    // The original (s, e) fragment is only used as a template; each use site
+    // rebuilds it so copies do not share states.
+    fn clone_fragment(
+        &mut self,
+        _s: usize,
+        _e: usize,
+        term: &Term,
+        syms: &HashMap<String, SymId>,
+    ) -> (usize, usize) {
+        self.build_once(term, syms)
+    }
+
+    fn build_once(&mut self, term: &Term, syms: &HashMap<String, SymId>) -> (usize, usize) {
+        match term {
+            Term::Element { name, .. } => {
+                let s = self.add_state();
+                let e = self.add_state();
+                let sym = syms[name.as_str()];
+                self.trans[s].push((sym, e));
+                (s, e)
+            }
+            Term::Seq(items) => {
+                let s = self.add_state();
+                let mut cur = s;
+                for item in items {
+                    let (is, ie) = self.build(item, syms);
+                    self.eps[cur].push(is);
+                    cur = ie;
+                }
+                (s, cur)
+            }
+            Term::Choice(items) => {
+                let s = self.add_state();
+                let e = self.add_state();
+                if items.is_empty() {
+                    self.eps[s].push(e);
+                }
+                for item in items {
+                    let (is, ie) = self.build(item, syms);
+                    self.eps[s].push(is);
+                    self.eps[ie].push(e);
+                }
+                (s, e)
+            }
+        }
+    }
+
+    fn eps_closure(&self, set: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut out = set.clone();
+        let mut stack: Vec<usize> = set.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps[s] {
+                if out.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    fn to_dfa(&self, start: usize, end: usize) -> Dfa {
+        let mut dfa = Dfa::default();
+        let start_set = self.eps_closure(&BTreeSet::from([start]));
+        let mut ids: HashMap<BTreeSet<usize>, u32> = HashMap::new();
+        let mut work = vec![start_set.clone()];
+        ids.insert(start_set.clone(), 0);
+        dfa.trans.push(BTreeMap::new());
+        dfa.accepting.push(start_set.contains(&end));
+        while let Some(set) = work.pop() {
+            let from = ids[&set];
+            let mut by_sym: BTreeMap<SymId, BTreeSet<usize>> = BTreeMap::new();
+            for &s in &set {
+                for &(sym, t) in &self.trans[s] {
+                    by_sym.entry(sym).or_default().insert(t);
+                }
+            }
+            for (sym, targets) in by_sym {
+                let closed = self.eps_closure(&targets);
+                let to = match ids.get(&closed) {
+                    Some(&id) => id,
+                    None => {
+                        let id = dfa.trans.len() as u32;
+                        ids.insert(closed.clone(), id);
+                        dfa.trans.push(BTreeMap::new());
+                        dfa.accepting.push(closed.contains(&end));
+                        work.push(closed);
+                        id
+                    }
+                };
+                dfa.trans[from as usize].insert(sym, to);
+            }
+        }
+        dfa
+    }
+}
+
+/// Encoded type reference: simple types as `0..=5`+1 markers, complex as index.
+fn encode_typeref(out: &mut Vec<u8>, t: TypeRef) {
+    match t {
+        TypeRef::Simple(s) => {
+            out.push(0);
+            out.push(s as u8);
+        }
+        TypeRef::Complex(i) => {
+            out.push(1);
+            put_varint(out, i as u64);
+        }
+    }
+}
+
+fn decode_typeref(buf: &[u8], pos: &mut usize) -> Result<TypeRef> {
+    let tag = buf[*pos];
+    *pos += 1;
+    if tag == 0 {
+        let s = SimpleType::from_u8(buf[*pos])?;
+        *pos += 1;
+        Ok(TypeRef::Simple(s))
+    } else {
+        Ok(TypeRef::Complex(get_varint(buf, pos)? as usize))
+    }
+}
+
+/// Compile a parsed schema into the binary format stored in the catalog.
+pub fn compile(doc: &SchemaDoc) -> Result<Vec<u8>> {
+    // Collect the symbol table (all element names in content models).
+    let mut syms: HashMap<String, SymId> = HashMap::new();
+    let mut sym_list: Vec<String> = Vec::new();
+    fn collect(p: &Particle, syms: &mut HashMap<String, SymId>, list: &mut Vec<String>) {
+        match &p.term {
+            Term::Element { name, .. } => {
+                if !syms.contains_key(name.as_str()) {
+                    syms.insert(name.clone(), list.len() as SymId);
+                    list.push(name.clone());
+                }
+            }
+            Term::Seq(items) | Term::Choice(items) => {
+                for i in items {
+                    collect(i, syms, list);
+                }
+            }
+        }
+    }
+    for t in &doc.types {
+        if let Content::Model(p) = &t.content {
+            collect(p, &mut syms, &mut sym_list);
+        }
+    }
+    for (name, _) in &doc.globals {
+        if !syms.contains_key(name.as_str()) {
+            syms.insert(name.clone(), sym_list.len() as SymId);
+            sym_list.push(name.clone());
+        }
+    }
+
+    // Per-type: DFA + child element type map.
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(b"RXSC\x01"); // magic + version
+    put_str(&mut out, &doc.target_ns);
+    put_varint(&mut out, sym_list.len() as u64);
+    for s in &sym_list {
+        put_str(&mut out, s);
+    }
+    put_varint(&mut out, doc.globals.len() as u64);
+    for (name, ty) in &doc.globals {
+        put_varint(&mut out, u64::from(syms[name.as_str()]));
+        encode_typeref(&mut out, *ty);
+    }
+    put_varint(&mut out, doc.types.len() as u64);
+    for t in &doc.types {
+        // Attributes.
+        put_varint(&mut out, t.attrs.len() as u64);
+        for a in &t.attrs {
+            put_str(&mut out, &a.name);
+            out.push(a.ty as u8);
+            out.push(u8::from(a.required));
+        }
+        match &t.content {
+            Content::Empty => out.push(0),
+            Content::Simple(s) => {
+                out.push(1);
+                out.push(*s as u8);
+            }
+            Content::Model(p) => {
+                out.push(2);
+                // Child element type map.
+                let mut children: BTreeMap<SymId, TypeRef> = BTreeMap::new();
+                fn child_types(p: &Particle, syms: &HashMap<String, SymId>, out: &mut BTreeMap<SymId, TypeRef>) {
+                    match &p.term {
+                        Term::Element { name, ty } => {
+                            out.insert(syms[name.as_str()], *ty);
+                        }
+                        Term::Seq(items) | Term::Choice(items) => {
+                            for i in items {
+                                child_types(i, syms, out);
+                            }
+                        }
+                    }
+                }
+                child_types(p, &syms, &mut children);
+                put_varint(&mut out, children.len() as u64);
+                for (sym, ty) in &children {
+                    put_varint(&mut out, u64::from(*sym));
+                    encode_typeref(&mut out, *ty);
+                }
+                // The DFA table.
+                let mut nfa = Nfa::default();
+                let (s, e) = nfa.build(p, &syms);
+                let dfa = nfa.to_dfa(s, e);
+                put_varint(&mut out, dfa.trans.len() as u64);
+                for (state, map) in dfa.trans.iter().enumerate() {
+                    out.push(u8::from(dfa.accepting[state]));
+                    put_varint(&mut out, map.len() as u64);
+                    for (sym, to) in map {
+                        put_varint(&mut out, u64::from(*sym));
+                        put_varint(&mut out, u64::from(*to));
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// The loaded runtime program
+// ---------------------------------------------------------------------------
+
+/// A loaded compiled type.
+#[derive(Debug, Clone)]
+pub struct LoadedType {
+    /// Attribute declarations: (name, type, required).
+    pub attrs: Vec<(String, SimpleType, bool)>,
+    /// Simple text content type (`None` for empty / element-only).
+    pub simple: Option<SimpleType>,
+    /// Child element types by symbol.
+    pub children: BTreeMap<SymId, TypeRef>,
+    /// Content-model DFA (`None` when no element children allowed).
+    pub dfa: Option<Dfa>,
+}
+
+/// A compiled schema loaded from its binary format — the "virtual machine"
+/// program of Fig. 4.
+#[derive(Debug, Clone)]
+pub struct SchemaProgram {
+    /// Target namespace documents must use.
+    pub target_ns: String,
+    /// Symbol table: element local names.
+    pub symbols: Vec<String>,
+    /// Global (root-capable) elements: symbol → type.
+    pub globals: BTreeMap<SymId, TypeRef>,
+    /// All types.
+    pub types: Vec<LoadedType>,
+    sym_by_name: HashMap<String, SymId>,
+}
+
+impl SchemaProgram {
+    /// Load a compiled binary schema.
+    pub fn load(bin: &[u8]) -> Result<SchemaProgram> {
+        if !bin.starts_with(b"RXSC\x01") {
+            return Err(XmlError::Schema {
+                message: "bad compiled schema magic".into(),
+            });
+        }
+        let mut pos = 5usize;
+        let target_ns = get_str(bin, &mut pos)?.to_string();
+        let nsyms = get_varint(bin, &mut pos)? as usize;
+        let mut symbols = Vec::with_capacity(nsyms);
+        for _ in 0..nsyms {
+            symbols.push(get_str(bin, &mut pos)?.to_string());
+        }
+        let nglobals = get_varint(bin, &mut pos)? as usize;
+        let mut globals = BTreeMap::new();
+        for _ in 0..nglobals {
+            let sym = get_varint(bin, &mut pos)? as SymId;
+            let ty = decode_typeref(bin, &mut pos)?;
+            globals.insert(sym, ty);
+        }
+        let ntypes = get_varint(bin, &mut pos)? as usize;
+        let mut types = Vec::with_capacity(ntypes);
+        for _ in 0..ntypes {
+            let nattrs = get_varint(bin, &mut pos)? as usize;
+            let mut attrs = Vec::with_capacity(nattrs);
+            for _ in 0..nattrs {
+                let name = get_str(bin, &mut pos)?.to_string();
+                let ty = SimpleType::from_u8(bin[pos])?;
+                pos += 1;
+                let required = bin[pos] != 0;
+                pos += 1;
+                attrs.push((name, ty, required));
+            }
+            let kind = bin[pos];
+            pos += 1;
+            let (simple, children, dfa) = match kind {
+                0 => (None, BTreeMap::new(), None),
+                1 => {
+                    let s = SimpleType::from_u8(bin[pos])?;
+                    pos += 1;
+                    (Some(s), BTreeMap::new(), None)
+                }
+                2 => {
+                    let nchildren = get_varint(bin, &mut pos)? as usize;
+                    let mut children = BTreeMap::new();
+                    for _ in 0..nchildren {
+                        let sym = get_varint(bin, &mut pos)? as SymId;
+                        let ty = decode_typeref(bin, &mut pos)?;
+                        children.insert(sym, ty);
+                    }
+                    let nstates = get_varint(bin, &mut pos)? as usize;
+                    let mut dfa = Dfa::default();
+                    for _ in 0..nstates {
+                        let acc = bin[pos] != 0;
+                        pos += 1;
+                        dfa.accepting.push(acc);
+                        let ntrans = get_varint(bin, &mut pos)? as usize;
+                        let mut map = BTreeMap::new();
+                        for _ in 0..ntrans {
+                            let sym = get_varint(bin, &mut pos)? as SymId;
+                            let to = get_varint(bin, &mut pos)? as u32;
+                            map.insert(sym, to);
+                        }
+                        dfa.trans.push(map);
+                    }
+                    (None, children, Some(dfa))
+                }
+                other => {
+                    return Err(XmlError::Schema {
+                        message: format!("bad content kind byte {other}"),
+                    })
+                }
+            };
+            types.push(LoadedType {
+                attrs,
+                simple,
+                children,
+                dfa,
+            });
+        }
+        let sym_by_name = symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as SymId))
+            .collect();
+        Ok(SchemaProgram {
+            target_ns,
+            symbols,
+            globals,
+            types,
+            sym_by_name,
+        })
+    }
+
+    fn sym(&self, local: &str) -> Option<SymId> {
+        self.sym_by_name.get(local).copied()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The validation VM
+// ---------------------------------------------------------------------------
+
+enum Frame {
+    Simple {
+        ty: SimpleType,
+        text: String,
+    },
+    Model {
+        type_idx: usize,
+        state: u32,
+    },
+    Empty,
+}
+
+/// The table-driven validation runtime: an [`EventSink`] that checks each
+/// event against the loaded schema program and re-emits it, with type
+/// annotations, into a token stream.
+pub struct ValidatorVm<'p, 'd> {
+    program: &'p SchemaProgram,
+    dict: &'d NameDict,
+    out: TokenWriter,
+    stack: Vec<Frame>,
+    /// Attributes still expected on the current element.
+    pending_attrs: Vec<(String, SimpleType, bool)>,
+    seen_attrs: Vec<String>,
+    attrs_open: bool,
+    sym_cache: HashMap<crate::name::QNameId, Option<SymId>>,
+}
+
+impl<'p, 'd> ValidatorVm<'p, 'd> {
+    /// Create a VM for one document.
+    pub fn new(program: &'p SchemaProgram, dict: &'d NameDict) -> Self {
+        ValidatorVm {
+            program,
+            dict,
+            out: TokenWriter::new(),
+            stack: Vec::new(),
+            pending_attrs: Vec::new(),
+            seen_attrs: Vec::new(),
+            attrs_open: false,
+            sym_cache: HashMap::new(),
+        }
+    }
+
+    /// Finish, returning the annotated token stream.
+    pub fn finish(self) -> Result<TokenStream> {
+        Ok(self.out.finish())
+    }
+
+    fn resolve_sym(&mut self, name: crate::name::QNameId) -> Option<SymId> {
+        if let Some(cached) = self.sym_cache.get(&name) {
+            return *cached;
+        }
+        let q = self.dict.qname(name);
+        let uri = self.dict.str(q.uri);
+        let local = self.dict.str(q.local);
+        let sym = if uri.as_ref() == self.program.target_ns {
+            self.program.sym(&local)
+        } else {
+            None
+        };
+        self.sym_cache.insert(name, sym);
+        sym
+    }
+
+    fn close_attrs(&mut self) -> Result<()> {
+        if !self.attrs_open {
+            return Ok(());
+        }
+        self.attrs_open = false;
+        for (name, _, required) in &self.pending_attrs {
+            if *required && !self.seen_attrs.contains(name) {
+                return Err(XmlError::Validation {
+                    message: format!("missing required attribute {name:?}"),
+                });
+            }
+        }
+        self.pending_attrs.clear();
+        self.seen_attrs.clear();
+        Ok(())
+    }
+
+    fn enter_type(&mut self, ty: TypeRef) {
+        match ty {
+            TypeRef::Simple(s) => {
+                self.stack.push(Frame::Simple {
+                    ty: s,
+                    text: String::new(),
+                });
+                self.pending_attrs.clear();
+            }
+            TypeRef::Complex(idx) => {
+                let lt = &self.program.types[idx];
+                self.pending_attrs = lt.attrs.clone();
+                if let Some(s) = lt.simple {
+                    self.stack.push(Frame::Simple {
+                        ty: s,
+                        text: String::new(),
+                    });
+                } else if lt.dfa.is_some() {
+                    self.stack.push(Frame::Model {
+                        type_idx: idx,
+                        state: 0,
+                    });
+                } else {
+                    self.stack.push(Frame::Empty);
+                }
+            }
+        }
+        self.attrs_open = true;
+        self.seen_attrs.clear();
+    }
+}
+
+impl EventSink for ValidatorVm<'_, '_> {
+    fn event(&mut self, ev: Event<'_>) -> Result<()> {
+        match ev {
+            Event::StartDocument => self.out.event(ev),
+            Event::EndDocument => {
+                self.out.event(ev)
+            }
+            Event::StartElement { name } => {
+                self.close_attrs()?;
+                let sym = self.resolve_sym(name).ok_or_else(|| {
+                    XmlError::Validation {
+                        message: format!(
+                            "element {:?} is not declared in the schema",
+                            self.dict.local_of(name)
+                        ),
+                    }
+                })?;
+                let ty = if self.stack.is_empty() {
+                    // Root element: must be a global.
+                    *self
+                        .program
+                        .globals
+                        .get(&sym)
+                        .ok_or_else(|| XmlError::Validation {
+                            message: format!(
+                                "element {:?} is not a valid document root",
+                                self.program.symbols[sym as usize]
+                            ),
+                        })?
+                } else {
+                    // Advance the parent's DFA.
+                    match self.stack.last_mut() {
+                        Some(Frame::Model { type_idx, state }) => {
+                            let lt = &self.program.types[*type_idx];
+                            let dfa = lt.dfa.as_ref().expect("model frames have a DFA");
+                            let next =
+                                dfa.step(*state, sym).ok_or_else(|| XmlError::Validation {
+                                    message: format!(
+                                        "element {:?} not allowed here by the content model",
+                                        self.program.symbols[sym as usize]
+                                    ),
+                                })?;
+                            *state = next;
+                            *lt.children.get(&sym).ok_or_else(|| XmlError::Validation {
+                                message: format!(
+                                    "no declaration for child {:?}",
+                                    self.program.symbols[sym as usize]
+                                ),
+                            })?
+                        }
+                        _ => {
+                            return Err(XmlError::Validation {
+                                message: format!(
+                                    "element {:?} not allowed in simple/empty content",
+                                    self.program.symbols[sym as usize]
+                                ),
+                            })
+                        }
+                    }
+                };
+                self.out.event(Event::StartElement { name })?;
+                self.enter_type(ty);
+                Ok(())
+            }
+            Event::NamespaceDecl { .. } => self.out.event(ev),
+            Event::Attribute { name, value, .. } => {
+                if !self.attrs_open {
+                    return Err(XmlError::Validation {
+                        message: "attribute after element content".into(),
+                    });
+                }
+                let local = self.dict.local_of(name);
+                let decl = self
+                    .pending_attrs
+                    .iter()
+                    .find(|(n, _, _)| n.as_str() == local.as_ref());
+                match decl {
+                    Some((n, ty, _)) => {
+                        ty.check(value)?;
+                        self.seen_attrs.push(n.clone());
+                        self.out.event(Event::Attribute {
+                            name,
+                            value,
+                            ann: ty.annotation(),
+                        })
+                    }
+                    None => Err(XmlError::Validation {
+                        message: format!("attribute {local:?} is not declared"),
+                    }),
+                }
+            }
+            Event::Text { value, .. } => {
+                self.close_attrs()?;
+                match self.stack.last_mut() {
+                    Some(Frame::Simple { ty, text }) => {
+                        text.push_str(value);
+                        let ann = ty.annotation();
+                        self.out.event(Event::Text { value, ann })
+                    }
+                    Some(_) if value.trim().is_empty() => Ok(()),
+                    Some(_) => Err(XmlError::Validation {
+                        message: format!("text {value:?} not allowed in element-only content"),
+                    }),
+                    None => Err(XmlError::Validation {
+                        message: "text outside the document element".into(),
+                    }),
+                }
+            }
+            Event::Comment { .. } | Event::Pi { .. } => {
+                self.close_attrs()?;
+                self.out.event(ev)
+            }
+            Event::EndElement => {
+                self.close_attrs()?;
+                match self.stack.pop() {
+                    Some(Frame::Simple { ty, text }) => {
+                        ty.check(&text)?;
+                    }
+                    Some(Frame::Model { type_idx, state }) => {
+                        let dfa = self.program.types[type_idx]
+                            .dfa
+                            .as_ref()
+                            .expect("model frames have a DFA");
+                        if !dfa.accepts(state) {
+                            return Err(XmlError::Validation {
+                                message: "element ended before its content model completed"
+                                    .into(),
+                            });
+                        }
+                    }
+                    Some(Frame::Empty) => {}
+                    None => {
+                        return Err(XmlError::Validation {
+                            message: "unbalanced end element".into(),
+                        })
+                    }
+                }
+                self.out.event(ev)
+            }
+        }
+    }
+}
+
+/// Parse and validate in one streaming pass (Fig. 4's validating path),
+/// producing the annotated token stream.
+pub fn validate_to_tokens(
+    input: &str,
+    program: &SchemaProgram,
+    dict: &NameDict,
+) -> Result<TokenStream> {
+    let mut vm = ValidatorVm::new(program, dict);
+    Parser::new(dict).parse(input, &mut vm)?;
+    vm.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CATALOG_XSD: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Catalog" type="CatalogType"/>
+  <xs:complexType name="CatalogType">
+    <xs:sequence>
+      <xs:element name="Product" type="ProductType" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:complexType name="ProductType">
+    <xs:sequence>
+      <xs:element name="ProductName" type="xs:string"/>
+      <xs:element name="RegPrice" type="xs:decimal"/>
+      <xs:element name="Discount" type="xs:double" minOccurs="0"/>
+      <xs:element name="Added" type="xs:date" minOccurs="0"/>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:integer" use="required"/>
+  </xs:complexType>
+</xs:schema>"#;
+
+    fn program() -> SchemaProgram {
+        let doc = parse_xsd(CATALOG_XSD).unwrap();
+        let bin = compile(&doc).unwrap();
+        SchemaProgram::load(&bin).unwrap()
+    }
+
+    #[test]
+    fn parse_compile_load_roundtrip() {
+        let p = program();
+        assert_eq!(p.target_ns, "");
+        assert!(p.symbols.contains(&"Product".to_string()));
+        assert_eq!(p.globals.len(), 1);
+        // CatalogType, ProductType, plus one forward-reference
+        // placeholder (CatalogType references ProductType before its
+        // definition in document order).
+        assert!(p.types.len() >= 2);
+    }
+
+    #[test]
+    fn valid_document_annotated() {
+        let p = program();
+        let dict = NameDict::new();
+        let doc = r#"<Catalog>
+            <Product id="1"><ProductName>Widget</ProductName><RegPrice>9.99</RegPrice></Product>
+            <Product id="2"><ProductName>Gadget</ProductName><RegPrice>120</RegPrice>
+              <Discount>0.25</Discount><Added>2005-06-16</Added></Product>
+        </Catalog>"#;
+        let stream = validate_to_tokens(doc, &p, &dict).unwrap();
+        // The annotations must be on the stream.
+        use crate::event::{Event, EventSink};
+        #[derive(Default)]
+        struct Anns(Vec<TypeAnn>);
+        impl EventSink for Anns {
+            fn event(&mut self, ev: Event<'_>) -> crate::error::Result<()> {
+                match ev {
+                    Event::Text { ann, .. } | Event::Attribute { ann, .. } => self.0.push(ann),
+                    _ => {}
+                }
+                Ok(())
+            }
+        }
+        let mut a = Anns::default();
+        stream.replay(&mut a).unwrap();
+        assert!(a.0.contains(&TypeAnn::Decimal));
+        assert!(a.0.contains(&TypeAnn::String));
+        assert!(a.0.contains(&TypeAnn::Integer));
+        assert!(a.0.contains(&TypeAnn::Double));
+        assert!(a.0.contains(&TypeAnn::Date));
+        assert!(!a.0.contains(&TypeAnn::Untyped));
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        let p = program();
+        let dict = NameDict::new();
+        assert!(validate_to_tokens("<Product/>", &p, &dict).is_err());
+        assert!(validate_to_tokens("<Unknown/>", &p, &dict).is_err());
+    }
+
+    #[test]
+    fn rejects_content_model_violations() {
+        let p = program();
+        let dict = NameDict::new();
+        // Missing required RegPrice.
+        assert!(validate_to_tokens(
+            r#"<Catalog><Product id="1"><ProductName>x</ProductName></Product></Catalog>"#,
+            &p,
+            &dict
+        )
+        .is_err());
+        // Wrong order.
+        assert!(validate_to_tokens(
+            r#"<Catalog><Product id="1"><RegPrice>1</RegPrice><ProductName>x</ProductName></Product></Catalog>"#,
+            &p,
+            &dict
+        )
+        .is_err());
+        // Unknown child.
+        assert!(validate_to_tokens(
+            r#"<Catalog><Product id="1"><ProductName>x</ProductName><RegPrice>1</RegPrice><Zap/></Product></Catalog>"#,
+            &p,
+            &dict
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_values_and_attrs() {
+        let p = program();
+        let dict = NameDict::new();
+        // Non-decimal price.
+        assert!(validate_to_tokens(
+            r#"<Catalog><Product id="1"><ProductName>x</ProductName><RegPrice>cheap</RegPrice></Product></Catalog>"#,
+            &p,
+            &dict
+        )
+        .is_err());
+        // Missing required id.
+        assert!(validate_to_tokens(
+            r#"<Catalog><Product><ProductName>x</ProductName><RegPrice>1</RegPrice></Product></Catalog>"#,
+            &p,
+            &dict
+        )
+        .is_err());
+        // Undeclared attribute.
+        assert!(validate_to_tokens(
+            r#"<Catalog><Product id="1" color="red"><ProductName>x</ProductName><RegPrice>1</RegPrice></Product></Catalog>"#,
+            &p,
+            &dict
+        )
+        .is_err());
+        // Non-integer id.
+        assert!(validate_to_tokens(
+            r#"<Catalog><Product id="abc"><ProductName>x</ProductName><RegPrice>1</RegPrice></Product></Catalog>"#,
+            &p,
+            &dict
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn choice_and_occurs() {
+        let xsd = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:choice minOccurs="1" maxOccurs="3">
+          <xs:element name="a" type="xs:string"/>
+          <xs:element name="b" type="xs:string"/>
+        </xs:choice>
+        <xs:element name="tail" type="xs:string" minOccurs="0"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+        let doc = parse_xsd(xsd).unwrap();
+        let bin = compile(&doc).unwrap();
+        let p = SchemaProgram::load(&bin).unwrap();
+        let dict = NameDict::new();
+        assert!(validate_to_tokens("<r><a/></r>", &p, &dict).is_ok());
+        assert!(validate_to_tokens("<r><b/><a/><b/><tail/></r>", &p, &dict).is_ok());
+        assert!(validate_to_tokens("<r></r>", &p, &dict).is_err(), "needs 1+");
+        assert!(
+            validate_to_tokens("<r><a/><a/><a/><a/></r>", &p, &dict).is_err(),
+            "max 3"
+        );
+        assert!(validate_to_tokens("<r><tail/></r>", &p, &dict).is_err());
+    }
+
+    #[test]
+    fn simple_content_with_attributes() {
+        let xsd = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="price">
+    <xs:complexType>
+      <xs:simpleContent>
+        <xs:extension base="xs:decimal">
+          <xs:attribute name="currency" type="xs:string" use="required"/>
+        </xs:extension>
+      </xs:simpleContent>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+        let doc = parse_xsd(xsd).unwrap();
+        let p = SchemaProgram::load(&compile(&doc).unwrap()).unwrap();
+        let dict = NameDict::new();
+        assert!(validate_to_tokens(r#"<price currency="USD">19.99</price>"#, &p, &dict).is_ok());
+        assert!(validate_to_tokens(r#"<price>19.99</price>"#, &p, &dict).is_err());
+        assert!(
+            validate_to_tokens(r#"<price currency="USD">free</price>"#, &p, &dict).is_err()
+        );
+    }
+
+    #[test]
+    fn target_namespace_enforced() {
+        let xsd = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:cat">
+  <xs:element name="c" type="xs:string"/>
+</xs:schema>"#;
+        let doc = parse_xsd(xsd).unwrap();
+        assert_eq!(doc.target_ns, "urn:cat");
+        let p = SchemaProgram::load(&compile(&doc).unwrap()).unwrap();
+        let dict = NameDict::new();
+        assert!(validate_to_tokens(r#"<c xmlns="urn:cat">x</c>"#, &p, &dict).is_ok());
+        assert!(validate_to_tokens("<c>x</c>", &p, &dict).is_err());
+    }
+
+    #[test]
+    fn recursive_type_via_forward_reference() {
+        let xsd = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="part" type="PartType"/>
+  <xs:complexType name="PartType">
+    <xs:sequence>
+      <xs:element name="name" type="xs:string"/>
+      <xs:element name="part" type="PartType" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>"#;
+        let doc = parse_xsd(xsd).unwrap();
+        let p = SchemaProgram::load(&compile(&doc).unwrap()).unwrap();
+        let dict = NameDict::new();
+        let nested = "<part><name>a</name><part><name>b</name></part><part><name>c</name></part></part>";
+        assert!(validate_to_tokens(nested, &p, &dict).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    fn load(xsd: &str) -> SchemaProgram {
+        SchemaProgram::load(&compile(&parse_xsd(xsd).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fully_optional_model_accepts_empty() {
+        let p = load(r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r"><xs:complexType><xs:sequence>
+    <xs:element name="a" type="xs:string" minOccurs="0"/>
+    <xs:element name="b" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+  </xs:sequence></xs:complexType></xs:element>
+</xs:schema>"#);
+        let dict = NameDict::new();
+        assert!(validate_to_tokens("<r/>", &p, &dict).is_ok());
+        assert!(validate_to_tokens("<r><b/><b/><b/></r>", &p, &dict).is_ok());
+        assert!(validate_to_tokens("<r><a/><b/></r>", &p, &dict).is_ok());
+        assert!(validate_to_tokens("<r><b/><a/></r>", &p, &dict).is_err(), "order");
+    }
+
+    #[test]
+    fn attribute_only_type() {
+        let p = load(r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="flag"><xs:complexType>
+    <xs:attribute name="on" type="xs:boolean" use="required"/>
+    <xs:attribute name="level" type="xs:integer"/>
+  </xs:complexType></xs:element>
+</xs:schema>"#);
+        let dict = NameDict::new();
+        assert!(validate_to_tokens(r#"<flag on="true"/>"#, &p, &dict).is_ok());
+        assert!(validate_to_tokens(r#"<flag on="1" level="3"/>"#, &p, &dict).is_ok());
+        assert!(validate_to_tokens("<flag/>", &p, &dict).is_err(), "missing required");
+        assert!(
+            validate_to_tokens(r#"<flag on="maybe"/>"#, &p, &dict).is_err(),
+            "bad boolean"
+        );
+        assert!(
+            validate_to_tokens(r#"<flag on="true">text</flag>"#, &p, &dict).is_err(),
+            "empty content"
+        );
+    }
+
+    #[test]
+    fn nested_groups() {
+        // (a, (b | c)+, d?)
+        let p = load(r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r"><xs:complexType><xs:sequence>
+    <xs:element name="a" type="xs:string"/>
+    <xs:choice maxOccurs="unbounded">
+      <xs:element name="b" type="xs:string"/>
+      <xs:element name="c" type="xs:string"/>
+    </xs:choice>
+    <xs:element name="d" type="xs:string" minOccurs="0"/>
+  </xs:sequence></xs:complexType></xs:element>
+</xs:schema>"#);
+        let dict = NameDict::new();
+        assert!(validate_to_tokens("<r><a/><b/></r>", &p, &dict).is_ok());
+        assert!(validate_to_tokens("<r><a/><c/><b/><c/><d/></r>", &p, &dict).is_ok());
+        assert!(validate_to_tokens("<r><a/><d/></r>", &p, &dict).is_err(), "choice needs 1+");
+        assert!(validate_to_tokens("<r><b/></r>", &p, &dict).is_err(), "a required");
+    }
+
+    #[test]
+    fn binary_format_is_stable() {
+        // Compiling the same schema twice yields identical bytes (the
+        // catalog stores them; determinism keeps recovery images stable).
+        let xsd = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="x"><xs:complexType><xs:sequence>
+    <xs:element name="y" type="xs:decimal" maxOccurs="unbounded"/>
+  </xs:sequence></xs:complexType></xs:element>
+</xs:schema>"#;
+        let a = compile(&parse_xsd(xsd).unwrap()).unwrap();
+        let b = compile(&parse_xsd(xsd).unwrap()).unwrap();
+        assert_eq!(a, b);
+    }
+}

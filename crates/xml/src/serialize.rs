@@ -1,0 +1,240 @@
+//! XML serialization (§4.4 task 1: "generate a serialized XML string for
+//! output to applications").
+//!
+//! The serializer is an [`EventSink`], so any representation that can push
+//! virtual SAX events — token streams, packed records, constructed data —
+//! serializes through this one shared routine, exactly the code-sharing
+//! argument of Fig. 8.
+
+use crate::error::Result;
+use crate::event::{Event, EventSink};
+use crate::name::NameDict;
+use crate::token::TokenStream;
+
+/// Streaming XML serializer.
+pub struct Serializer<'d> {
+    dict: &'d NameDict,
+    out: String,
+    /// Start tag written but not yet closed with `>`.
+    tag_open: bool,
+    /// Stack of open element display names.
+    stack: Vec<String>,
+}
+
+impl<'d> Serializer<'d> {
+    /// Create a serializer resolving names against `dict`.
+    pub fn new(dict: &'d NameDict) -> Self {
+        Serializer {
+            dict,
+            out: String::new(),
+            tag_open: false,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Finish and return the XML text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn display_name(&self, name: crate::name::QNameId) -> String {
+        let q = self.dict.qname(name);
+        let prefix = self.dict.str(q.prefix);
+        let local = self.dict.str(q.local);
+        if prefix.is_empty() {
+            local.to_string()
+        } else {
+            format!("{prefix}:{local}")
+        }
+    }
+
+    fn close_open_tag(&mut self) {
+        if self.tag_open {
+            self.out.push('>');
+            self.tag_open = false;
+        }
+    }
+}
+
+impl EventSink for Serializer<'_> {
+    fn event(&mut self, ev: Event<'_>) -> Result<()> {
+        match ev {
+            Event::StartDocument | Event::EndDocument => {}
+            Event::StartElement { name } => {
+                self.close_open_tag();
+                let disp = self.display_name(name);
+                self.out.push('<');
+                self.out.push_str(&disp);
+                self.stack.push(disp);
+                self.tag_open = true;
+            }
+            Event::NamespaceDecl { prefix, uri } => {
+                let p = self.dict.str(prefix);
+                self.out.push(' ');
+                if p.is_empty() {
+                    self.out.push_str("xmlns");
+                } else {
+                    self.out.push_str("xmlns:");
+                    self.out.push_str(&p);
+                }
+                self.out.push_str("=\"");
+                escape_attr(&self.dict.str(uri), &mut self.out);
+                self.out.push('"');
+            }
+            Event::Attribute { name, value, .. } => {
+                self.out.push(' ');
+                let disp = self.display_name(name);
+                self.out.push_str(&disp);
+                self.out.push_str("=\"");
+                escape_attr(value, &mut self.out);
+                self.out.push('"');
+            }
+            Event::Text { value, .. } => {
+                self.close_open_tag();
+                escape_text(value, &mut self.out);
+            }
+            Event::Comment { value } => {
+                self.close_open_tag();
+                self.out.push_str("<!--");
+                self.out.push_str(value);
+                self.out.push_str("-->");
+            }
+            Event::Pi { target, data } => {
+                self.close_open_tag();
+                self.out.push_str("<?");
+                self.out.push_str(&self.dict.local_of(target));
+                if !data.is_empty() {
+                    self.out.push(' ');
+                    self.out.push_str(data);
+                }
+                self.out.push_str("?>");
+            }
+            Event::EndElement => {
+                let name = self.stack.pop().unwrap_or_default();
+                if self.tag_open {
+                    self.out.push_str("/>");
+                    self.tag_open = false;
+                } else {
+                    self.out.push_str("</");
+                    self.out.push_str(&name);
+                    self.out.push('>');
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Escape character-data content.
+pub fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escape an attribute value (double-quote delimited).
+pub fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialize a token stream to XML text.
+pub fn serialize_stream(stream: &TokenStream, dict: &NameDict) -> Result<String> {
+    let mut s = Serializer::new(dict);
+    stream.replay(&mut s)?;
+    Ok(s.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::Parser;
+
+    fn roundtrip(input: &str) -> String {
+        let dict = NameDict::new();
+        let p = Parser::new(&dict);
+        let stream = p.parse_to_tokens(input).unwrap();
+        serialize_stream(&stream, &dict).unwrap()
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        assert_eq!(roundtrip("<a><b>hi</b><c/></a>"), "<a><b>hi</b><c/></a>");
+    }
+
+    #[test]
+    fn attributes_and_namespaces() {
+        let out = roundtrip(r#"<c:x xmlns:c="urn:c" a="1"><c:y/></c:x>"#);
+        assert_eq!(out, r#"<c:x xmlns:c="urn:c" a="1"><c:y/></c:x>"#);
+    }
+
+    #[test]
+    fn escaping() {
+        let out = roundtrip(r#"<a q="&lt;&quot;&amp;">a &lt; b &amp; c</a>"#);
+        assert_eq!(out, r#"<a q="&lt;&quot;&amp;">a &lt; b &amp; c</a>"#);
+    }
+
+    #[test]
+    fn comments_and_pis_roundtrip() {
+        let out = roundtrip("<a><!-- note --><?app do it?></a>");
+        assert_eq!(out, "<a><!-- note --><?app do it?></a>");
+    }
+
+    #[test]
+    fn reparse_stability() {
+        // serialize(parse(x)) must be a fixpoint after one pass.
+        let once = roundtrip(r#"<cat><p price="9.99">W &amp; G</p></cat>"#);
+        let twice = roundtrip(&once);
+        assert_eq!(once, twice);
+    }
+}
+
+#[cfg(test)]
+mod ns_tests {
+    use super::*;
+    use crate::parser::Parser;
+    use crate::NameDict;
+
+    fn roundtrip(input: &str) -> String {
+        let dict = NameDict::new();
+        let stream = Parser::new(&dict).parse_to_tokens(input).unwrap();
+        serialize_stream(&stream, &dict).unwrap()
+    }
+
+    #[test]
+    fn default_namespace() {
+        let doc = r#"<cat xmlns="urn:c"><item>x</item></cat>"#;
+        assert_eq!(roundtrip(doc), doc);
+    }
+
+    #[test]
+    fn redeclared_default_namespace() {
+        let doc = r#"<a xmlns="urn:1"><b xmlns="urn:2"><c/></b></a>"#;
+        assert_eq!(roundtrip(doc), doc);
+    }
+
+    #[test]
+    fn mixed_prefixes_same_uri() {
+        let doc = r#"<x:a xmlns:x="urn:u" xmlns:y="urn:u"><y:b/></x:a>"#;
+        // Both prefixes survive (they are distinct qname ids with equal
+        // expanded names).
+        assert_eq!(roundtrip(doc), doc);
+    }
+
+    #[test]
+    fn unicode_content() {
+        let doc = "<r a=\"héllo\">日本語 ♥</r>";
+        assert_eq!(roundtrip(doc), doc);
+    }
+}

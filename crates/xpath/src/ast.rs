@@ -1,0 +1,252 @@
+//! XPath abstract syntax.
+//!
+//! The supported fragment is the paper's (§4.2): the five forward axes —
+//! child, attribute, descendant, self, descendant-or-self — plus the parent
+//! axis via query rewrite \[24\], with predicates built from comparisons,
+//! `and`/`or`/`not()`, nested relative paths, `count()` and `exists()`.
+
+use std::fmt;
+
+/// An XPath axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `child::` (the default).
+    Child,
+    /// `descendant::`.
+    Descendant,
+    /// `descendant-or-self::` (what `//` expands to).
+    DescendantOrSelf,
+    /// `self::` (`.`).
+    SelfAxis,
+    /// `attribute::` (`@`).
+    Attribute,
+    /// `parent::` (`..`) — supported by rewrite only.
+    Parent,
+}
+
+/// A node test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A name test, optionally namespace-qualified (`prefix` resolved at
+    /// parse time against supplied bindings).
+    Name {
+        /// Namespace URI; `None` = match any namespace, `Some("")` = no
+        /// namespace.
+        uri: Option<String>,
+        /// Local name.
+        local: String,
+    },
+    /// `*` — any element (or any attribute on the attribute axis).
+    AnyName,
+    /// `text()`.
+    Text,
+    /// `comment()`.
+    Comment,
+    /// `node()` — any node kind.
+    AnyKind,
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Zero or more predicates.
+    pub predicates: Vec<Expr>,
+}
+
+/// A location path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// True for absolute paths (`/…` or `//…`).
+    pub absolute: bool,
+    /// The steps.
+    pub steps: Vec<Step>,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate against an [`std::cmp::Ordering`].
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less)
+                | (CmpOp::Ne, Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less)
+                | (CmpOp::Le, Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater)
+                | (CmpOp::Ge, Equal)
+        )
+    }
+
+    /// The operator with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// A predicate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Negation (`not(…)`).
+    Not(Box<Expr>),
+    /// General comparison with existential semantics over node sequences.
+    Cmp(CmpOp, Operand, Operand),
+    /// Truth of a relative path (non-empty result), e.g. `[Discount]`.
+    Exists(Path),
+}
+
+/// A comparison operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A string literal.
+    Literal(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A relative path (sequence of node string-values).
+    Path(Path),
+    /// `count(path)`.
+    Count(Path),
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name { uri: Some(u), local } if !u.is_empty() => {
+                write!(f, "{{{u}}}{local}")
+            }
+            NodeTest::Name { local, .. } => write!(f, "{local}"),
+            NodeTest::AnyName => write!(f, "*"),
+            NodeTest::Text => write!(f, "text()"),
+            NodeTest::Comment => write!(f, "comment()"),
+            NodeTest::AnyKind => write!(f, "node()"),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.axis {
+            Axis::Child => {}
+            Axis::Descendant => write!(f, "descendant::")?,
+            Axis::DescendantOrSelf => write!(f, "descendant-or-self::")?,
+            Axis::SelfAxis => write!(f, "self::")?,
+            Axis::Attribute => write!(f, "@")?,
+            Axis::Parent => write!(f, "parent::")?,
+        }
+        write!(f, "{}", self.test)?;
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 || self.absolute {
+                write!(f, "/")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Or(a, b) => write!(f, "({a} or {b})"),
+            Expr::And(a, b) => write!(f, "({a} and {b})"),
+            Expr::Not(e) => write!(f, "not({e})"),
+            Expr::Cmp(op, a, b) => {
+                let sym = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "!=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "{a} {sym} {b}")
+            }
+            Expr::Exists(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Literal(s) => write!(f, "\"{s}\""),
+            Operand::Number(n) => write!(f, "{n}"),
+            Operand::Path(p) => write!(f, "{p}"),
+            Operand::Count(p) => write!(f, "count({p})"),
+        }
+    }
+}
+
+impl Path {
+    /// A linear path (no predicates anywhere)? Index definitions require this
+    /// (§3.3: "a simple XPath expression without predicates").
+    pub fn is_simple(&self) -> bool {
+        self.steps.iter().all(|s| {
+            s.predicates.is_empty()
+                && matches!(
+                    s.axis,
+                    Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::Attribute
+                )
+        })
+    }
+
+    /// Strip all predicates, yielding the structural skeleton (used when
+    /// matching query paths against index paths).
+    pub fn skeleton(&self) -> Path {
+        Path {
+            absolute: self.absolute,
+            steps: self
+                .steps
+                .iter()
+                .map(|s| Step {
+                    axis: s.axis,
+                    test: s.test.clone(),
+                    predicates: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! XPath containment between query paths and index paths (§4.3).
+//!
+//! "When the XPath expression of the index contains a query XPath expression
+//! but is not equivalent to it, we use the index for filtering, and
+//! re-evaluation of the query XPath expression on the document data is
+//! necessary."
+//!
+//! For the linear, predicate-free paths that index definitions use (§3.3),
+//! containment `P_index ⊇ P_query` is decided by searching for a
+//! *homomorphism* from the index pattern onto the query pattern: every index
+//! step maps to a query step with an implied name test, child edges map to
+//! child edges, descendant edges map to downward paths of length ≥ 1, and
+//! both terminals coincide. Equality of skeletons gives an **exact** match,
+//! strict containment gives a **filtering** match (Table 2 cases 1 vs 2).
+
+use crate::ast::{Axis, NodeTest, Path};
+
+/// How an index path relates to a query path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMatch {
+    /// The index path matches exactly the nodes the query path matches:
+    /// index results need no re-check (Table 2 case 1).
+    Exact,
+    /// The index path matches a superset: use the index to *filter*, then
+    /// re-evaluate the query on the fetched data (Table 2 case 2).
+    Filtering,
+    /// The index cannot serve this query path.
+    None,
+}
+
+fn test_implies(index: &NodeTest, query: &NodeTest) -> bool {
+    match (index, query) {
+        (NodeTest::AnyKind, _) => true,
+        (NodeTest::AnyName, NodeTest::AnyName) => true,
+        (NodeTest::AnyName, NodeTest::Name { .. }) => true,
+        (NodeTest::Text, NodeTest::Text) => true,
+        (NodeTest::Comment, NodeTest::Comment) => true,
+        (
+            NodeTest::Name { uri: iu, local: il },
+            NodeTest::Name { uri: qu, local: ql },
+        ) => {
+            if il != ql {
+                return false;
+            }
+            match (iu, qu) {
+                (None, _) => true, // index matches any namespace
+                (Some(a), Some(b)) => a == b,
+                (Some(_), None) => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Normalized step: axis reduced to child/descendant/attribute, with
+/// `descendant-or-self::node()` folded into the next step.
+#[derive(Debug, Clone, PartialEq)]
+struct NStep {
+    descendant: bool,
+    attribute: bool,
+    test: NodeTest,
+}
+
+fn normalize(path: &Path) -> Option<Vec<NStep>> {
+    let mut out = Vec::new();
+    let mut pending = false;
+    for s in &path.steps {
+        match s.axis {
+            Axis::DescendantOrSelf if s.test == NodeTest::AnyKind => pending = true,
+            Axis::Child | Axis::Attribute | Axis::Descendant => {
+                out.push(NStep {
+                    descendant: pending || s.axis == Axis::Descendant,
+                    attribute: s.axis == Axis::Attribute,
+                    test: s.test.clone(),
+                });
+                pending = false;
+            }
+            Axis::SelfAxis if s.test == NodeTest::AnyKind => {}
+            _ => return None,
+        }
+    }
+    if pending {
+        return None;
+    }
+    Some(out)
+}
+
+/// Decide how `index_path` can serve `query_path` (both absolute; the query
+/// path's predicates are ignored — pass the skeleton of the *value access
+/// path*, i.e. the path naming the node whose value the predicate tests).
+pub fn classify(index_path: &Path, query_path: &Path) -> IndexMatch {
+    let (Some(ip), Some(qp)) = (normalize(index_path), normalize(query_path)) else {
+        return IndexMatch::None;
+    };
+    if ip.is_empty() || qp.is_empty() {
+        return IndexMatch::None;
+    }
+    if ip == qp {
+        return IndexMatch::Exact;
+    }
+    if contains(&ip, &qp) {
+        return IndexMatch::Filtering;
+    }
+    IndexMatch::None
+}
+
+/// Does the index pattern match every node the query pattern matches?
+/// Homomorphism search with memoization: `emb(i, q)` = can index steps
+/// `i..` embed into query steps `q..` with index step `i` mapped to query
+/// step `q`, both terminals aligned at the end.
+fn contains(ip: &[NStep], qp: &[NStep]) -> bool {
+    // The terminals must align and agree on node category.
+    let (it, qt) = (ip.last().unwrap(), qp.last().unwrap());
+    if it.attribute != qt.attribute {
+        return false;
+    }
+    let mut memo = vec![vec![None; qp.len() + 1]; ip.len() + 1];
+    // emb(i, q): index suffix starting at i can embed into query suffix
+    // starting at q, where index step i must map to SOME query step >= q
+    // (exactly q when the previous index edge was a child edge).
+    fn emb(ip: &[NStep], qp: &[NStep], i: usize, q: usize, memo: &mut Vec<Vec<Option<bool>>>) -> bool {
+        if i == ip.len() {
+            // All index steps mapped; valid only if the query is exhausted
+            // too (terminal alignment is enforced by the caller structure).
+            return q == qp.len();
+        }
+        if q >= qp.len() {
+            return false;
+        }
+        if let Some(v) = memo[i][q] {
+            return v;
+        }
+        let step = &ip[i];
+        let mut ok = false;
+        if step.descendant {
+            // May map to any query step at position >= q.
+            for target in q..qp.len() {
+                if test_implies(&step.test, &qp[target].test)
+                    && step.attribute == qp[target].attribute
+                {
+                    // Terminal must map to terminal.
+                    if i == ip.len() - 1 {
+                        if target == qp.len() - 1 {
+                            ok = true;
+                            break;
+                        }
+                    } else if emb(ip, qp, i + 1, target + 1, memo) {
+                        ok = true;
+                        break;
+                    }
+                }
+            }
+        } else {
+            // Child edge: must map to exactly position q, and the query edge
+            // there must itself be a child edge (a descendant query edge can
+            // reach nodes deeper than one level, which the index would miss).
+            if !qp[q].descendant
+                && test_implies(&step.test, &qp[q].test)
+                && step.attribute == qp[q].attribute
+            {
+                if i == ip.len() - 1 {
+                    ok = q == qp.len() - 1;
+                } else {
+                    ok = emb(ip, qp, i + 1, q + 1, memo);
+                }
+            }
+        }
+        memo[i][q] = Some(ok);
+        ok
+    }
+    // The first index step: child edge anchors at query position 0;
+    // descendant edge may anchor anywhere (handled inside emb via the
+    // descendant flag of step 0).
+    emb(ip, qp, 0, 0, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::XPathParser;
+
+    fn cls(index: &str, query: &str) -> IndexMatch {
+        let p = XPathParser::new();
+        classify(&p.parse(index).unwrap(), &p.parse(query).unwrap())
+    }
+
+    #[test]
+    fn table2_case1_exact() {
+        // Index /Catalog/Categories/Product/RegPrice serves the RegPrice
+        // predicate of /Catalog/Categories/Product[RegPrice > 100] exactly.
+        assert_eq!(
+            cls(
+                "/Catalog/Categories/Product/RegPrice",
+                "/Catalog/Categories/Product/RegPrice"
+            ),
+            IndexMatch::Exact
+        );
+    }
+
+    #[test]
+    fn table2_case2_filtering() {
+        // Index //Discount contains /Catalog/Categories/Product/Discount.
+        assert_eq!(
+            cls("//Discount", "/Catalog/Categories/Product/Discount"),
+            IndexMatch::Filtering
+        );
+    }
+
+    #[test]
+    fn non_matching_paths() {
+        assert_eq!(
+            cls("/Catalog/Product/RegPrice", "/Catalog/Categories/Product/RegPrice"),
+            IndexMatch::None
+        );
+        assert_eq!(cls("//Discount", "//RegPrice"), IndexMatch::None);
+        // Query is MORE general than the index: the index would miss nodes.
+        assert_eq!(cls("/a/b/c", "//c"), IndexMatch::None);
+    }
+
+    #[test]
+    fn descendant_edge_containment() {
+        assert_eq!(cls("/a//c", "/a/b/c"), IndexMatch::Filtering);
+        assert_eq!(cls("//b//c", "/a/b/x/c"), IndexMatch::Filtering);
+        assert_eq!(cls("/a//c", "/a//c"), IndexMatch::Exact);
+        assert_eq!(cls("/a//c", "/x/b/c"), IndexMatch::None);
+        // Deep pattern cannot embed into a shallower query.
+        assert_eq!(cls("//a//b//c", "/a/c"), IndexMatch::None);
+    }
+
+    #[test]
+    fn wildcards() {
+        assert_eq!(cls("/a/*/c", "/a/b/c"), IndexMatch::Filtering);
+        assert_eq!(cls("/a/*/c", "/a/*/c"), IndexMatch::Exact);
+        assert_eq!(cls("/a/b/c", "/a/*/c"), IndexMatch::None);
+    }
+
+    #[test]
+    fn attributes() {
+        assert_eq!(cls("//@id", "/p/@id"), IndexMatch::Filtering);
+        assert_eq!(cls("/p/@id", "/p/@id"), IndexMatch::Exact);
+        assert_eq!(cls("//id", "/p/@id"), IndexMatch::None, "attr vs element");
+        assert_eq!(cls("/p/@id", "/p/id"), IndexMatch::None);
+    }
+
+    #[test]
+    fn terminal_must_align() {
+        // Index on .../Product cannot serve a query for .../Product/RegPrice.
+        assert_eq!(cls("/c/Product", "/c/Product/RegPrice"), IndexMatch::None);
+        assert_eq!(cls("/c/Product/RegPrice", "/c/Product"), IndexMatch::None);
+    }
+}

@@ -1,0 +1,40 @@
+//! XPath compilation and evaluation errors.
+
+use std::fmt;
+
+/// Result alias for the XPath crate.
+pub type Result<T> = std::result::Result<T, XPathError>;
+
+/// Errors from XPath parsing, compilation, or evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-descriptive
+pub enum XPathError {
+    /// Syntax error in the path expression.
+    Parse { offset: usize, message: String },
+    /// The expression is outside the supported fragment.
+    Unsupported { message: String },
+    /// Malformed input during evaluation (e.g. a broken event stream).
+    Eval { message: String },
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XPathError::Parse { offset, message } => {
+                write!(f, "XPath parse error at offset {offset}: {message}")
+            }
+            XPathError::Unsupported { message } => write!(f, "unsupported XPath: {message}"),
+            XPathError::Eval { message } => write!(f, "XPath evaluation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+impl From<rx_xml::XmlError> for XPathError {
+    fn from(e: rx_xml::XmlError) -> Self {
+        XPathError::Eval {
+            message: e.to_string(),
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! The query tree (§4.2, Fig. 6).
+//!
+//! "Like many other XPath algorithms, such as TurboXPath, QuickXScan models a
+//! path expression with a query tree … each node is labeled by the name test
+//! or kind test, and the axis of each step is differentiated by a single-line
+//! edge for child axis or a double-line edge for descendant axis."
+//!
+//! Compilation folds `descendant-or-self::node()` steps into descendant
+//! edges, merges `self::node()` steps into their context, and hangs every
+//! predicate's operand paths off the step that owns the predicate, so the
+//! evaluator sees exactly three edge kinds: child, descendant, attribute.
+
+use crate::ast::{Axis, CmpOp, Expr, NodeTest, Operand, Path};
+use crate::error::{Result, XPathError};
+use std::fmt;
+
+/// Edge kind from a query node to its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QAxis {
+    /// Single-line edge (child axis).
+    Child,
+    /// Double-line edge (descendant axis).
+    Descendant,
+    /// Attribute edge.
+    Attribute,
+}
+
+/// Where values matched by a node flow: to the main result sequence or into
+/// one operand slot of an owning node's predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// On the main path.
+    Main,
+    /// On an operand path of a predicate.
+    Operand {
+        /// Query node whose predicate consumes the values.
+        owner: usize,
+        /// Operand slot index within the owner.
+        idx: usize,
+    },
+}
+
+/// A compiled predicate operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum POp {
+    /// A string literal.
+    Literal(String),
+    /// A numeric literal.
+    Number(f64),
+    /// The value sequence collected in operand slot `.0`.
+    Seq(usize),
+    /// The cardinality of operand slot `.0`.
+    Count(usize),
+}
+
+/// A compiled predicate expression (evaluated when the owning instance pops).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExpr {
+    /// Disjunction.
+    Or(Box<PExpr>, Box<PExpr>),
+    /// Conjunction.
+    And(Box<PExpr>, Box<PExpr>),
+    /// Negation.
+    Not(Box<PExpr>),
+    /// Existential general comparison.
+    Cmp(CmpOp, POp, POp),
+    /// Non-emptiness of operand slot `.0`.
+    Exists(usize),
+}
+
+/// One node of the query tree.
+#[derive(Debug, Clone)]
+pub struct QueryNode {
+    /// Parent query node (`None` only for the root).
+    pub parent: Option<usize>,
+    /// Edge kind to the parent.
+    pub axis: QAxis,
+    /// The name/kind test.
+    pub test: NodeTest,
+    /// Predicates owned by this node.
+    pub predicates: Vec<PExpr>,
+    /// Number of operand slots this node's predicates consume.
+    pub operand_slots: usize,
+    /// Value routing for matches of this node.
+    pub route: Route,
+    /// Terminal of the main path or of an operand path: accumulates the
+    /// node's string value.
+    pub produces_value: bool,
+    /// Operand slots fed by this node's *own* string value (a `.` operand,
+    /// e.g. `b[. = "x"]`).
+    pub self_value_operands: Vec<usize>,
+    /// Child query nodes.
+    pub children: Vec<usize>,
+}
+
+/// The compiled query tree. Node 0 is the root step `r` (the document).
+#[derive(Debug, Clone)]
+pub struct QueryTree {
+    /// All nodes; index = node id.
+    pub nodes: Vec<QueryNode>,
+    /// The result query node (end of the main path).
+    pub result: usize,
+}
+
+impl QueryTree {
+    /// Compile an absolute path expression.
+    pub fn compile(path: &Path) -> Result<QueryTree> {
+        if !path.absolute {
+            return Err(XPathError::Unsupported {
+                message: "queries must be absolute paths".into(),
+            });
+        }
+        let mut tree = QueryTree {
+            nodes: vec![QueryNode {
+                parent: None,
+                axis: QAxis::Child,
+                test: NodeTest::AnyKind,
+                predicates: Vec::new(),
+                operand_slots: 0,
+                route: Route::Main,
+                produces_value: false,
+                self_value_operands: Vec::new(),
+                children: Vec::new(),
+            }],
+            result: 0,
+        };
+        let terminal = tree.compile_steps(&path.steps, 0, Route::Main)?;
+        if terminal == 0 {
+            return Err(XPathError::Unsupported {
+                message: "query selects only the document root".into(),
+            });
+        }
+        tree.result = terminal;
+        tree.nodes[terminal].produces_value = true;
+        Ok(tree)
+    }
+
+    /// Number of query nodes — the paper's `|Q|`.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn add_node(
+        &mut self,
+        parent: usize,
+        axis: QAxis,
+        test: NodeTest,
+        route: Route,
+    ) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(QueryNode {
+            parent: Some(parent),
+            axis,
+            test,
+            predicates: Vec::new(),
+            operand_slots: 0,
+            route,
+            produces_value: false,
+            self_value_operands: Vec::new(),
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    fn compile_steps(
+        &mut self,
+        steps: &[crate::ast::Step],
+        context: usize,
+        route: Route,
+    ) -> Result<usize> {
+        let mut cur = context;
+        let mut pending_desc = false;
+        for step in steps {
+            match step.axis {
+                Axis::SelfAxis => {
+                    if pending_desc {
+                        return Err(XPathError::Unsupported {
+                            message: "'//.' is not supported".into(),
+                        });
+                    }
+                    if step.test != NodeTest::AnyKind {
+                        return Err(XPathError::Unsupported {
+                            message: "self axis with a name test is not supported".into(),
+                        });
+                    }
+                    // `.`: predicates attach to the context node.
+                    for p in &step.predicates {
+                        let compiled = self.compile_expr(p, cur)?;
+                        self.nodes[cur].predicates.push(compiled);
+                    }
+                }
+                Axis::DescendantOrSelf => {
+                    if step.test == NodeTest::AnyKind && step.predicates.is_empty() {
+                        pending_desc = true;
+                    } else {
+                        return Err(XPathError::Unsupported {
+                            message:
+                                "descendant-or-self with a name test or predicates is not supported (use descendant::)"
+                                    .into(),
+                        });
+                    }
+                }
+                Axis::Child | Axis::Descendant | Axis::Attribute => {
+                    if matches!(self.nodes[cur].axis, QAxis::Attribute) && cur != context {
+                        return Err(XPathError::Unsupported {
+                            message: "attributes have no children".into(),
+                        });
+                    }
+                    let qaxis = match step.axis {
+                        Axis::Attribute => {
+                            if pending_desc {
+                                // `//@x` ≡ `descendant::*/attribute::x`:
+                                // insert the implicit element step.
+                                let elem = self.add_node(
+                                    cur,
+                                    QAxis::Descendant,
+                                    NodeTest::AnyName,
+                                    route,
+                                );
+                                cur = elem;
+                            }
+                            QAxis::Attribute
+                        }
+                        Axis::Descendant => QAxis::Descendant,
+                        Axis::Child if pending_desc => QAxis::Descendant,
+                        Axis::Child => QAxis::Child,
+                        _ => unreachable!(),
+                    };
+                    pending_desc = false;
+                    let id = self.add_node(cur, qaxis, step.test.clone(), route);
+                    for p in &step.predicates {
+                        let compiled = self.compile_expr(p, id)?;
+                        self.nodes[id].predicates.push(compiled);
+                    }
+                    cur = id;
+                }
+                Axis::Parent => {
+                    return Err(XPathError::Unsupported {
+                        message: "parent axis survived rewrite (internal error)".into(),
+                    })
+                }
+            }
+        }
+        if pending_desc {
+            return Err(XPathError::Unsupported {
+                message: "path may not end with '//'".into(),
+            });
+        }
+        Ok(cur)
+    }
+
+    fn add_operand_path(&mut self, path: &Path, owner: usize) -> Result<usize> {
+        if path.absolute {
+            return Err(XPathError::Unsupported {
+                message: "absolute paths inside predicates are not supported".into(),
+            });
+        }
+        let idx = self.nodes[owner].operand_slots;
+        self.nodes[owner].operand_slots += 1;
+        let terminal = self.compile_steps(&path.steps, owner, Route::Operand { owner, idx })?;
+        if terminal == owner {
+            // A pure `.` operand: the owner's own string value feeds the slot.
+            self.nodes[owner].self_value_operands.push(idx);
+        } else {
+            self.nodes[terminal].produces_value = true;
+        }
+        Ok(idx)
+    }
+
+    fn compile_operand(&mut self, op: &Operand, owner: usize) -> Result<POp> {
+        Ok(match op {
+            Operand::Literal(s) => POp::Literal(s.clone()),
+            Operand::Number(n) => POp::Number(*n),
+            Operand::Path(p) => POp::Seq(self.add_operand_path(p, owner)?),
+            Operand::Count(p) => POp::Count(self.add_operand_path(p, owner)?),
+        })
+    }
+
+    fn compile_expr(&mut self, e: &Expr, owner: usize) -> Result<PExpr> {
+        Ok(match e {
+            Expr::Or(a, b) => PExpr::Or(
+                Box::new(self.compile_expr(a, owner)?),
+                Box::new(self.compile_expr(b, owner)?),
+            ),
+            Expr::And(a, b) => PExpr::And(
+                Box::new(self.compile_expr(a, owner)?),
+                Box::new(self.compile_expr(b, owner)?),
+            ),
+            Expr::Not(a) => PExpr::Not(Box::new(self.compile_expr(a, owner)?)),
+            Expr::Cmp(op, l, r) => PExpr::Cmp(
+                *op,
+                self.compile_operand(l, owner)?,
+                self.compile_operand(r, owner)?,
+            ),
+            Expr::Exists(p) => PExpr::Exists(self.add_operand_path(p, owner)?),
+        })
+    }
+
+    /// Render the tree in the style of Fig. 6: `=` edges are descendant axis,
+    /// `-` edges are child axis, `@` marks attribute edges, `*` marks the
+    /// result node.
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::new();
+        self.render(0, 0, &mut out);
+        out
+    }
+
+    fn render(&self, id: usize, depth: usize, out: &mut String) {
+        let n = &self.nodes[id];
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let edge = match n.axis {
+            _ if id == 0 => "r",
+            QAxis::Child => "-",
+            QAxis::Descendant => "=",
+            QAxis::Attribute => "@",
+        };
+        out.push_str(edge);
+        if id != 0 {
+            out.push(' ');
+            out.push_str(&n.test.to_string());
+        }
+        if id == self.result {
+            out.push_str(" *");
+        }
+        if let Route::Operand { owner, idx } = n.route {
+            out.push_str(&format!(" (operand {idx} of q{owner})"));
+        }
+        if !n.predicates.is_empty() {
+            out.push_str(&format!(" [{} predicate(s)]", n.predicates.len()));
+        }
+        out.push('\n');
+        for &c in &n.children {
+            self.render(c, depth + 1, out);
+        }
+    }
+}
+
+impl fmt::Display for QueryTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::XPathParser;
+
+    fn compile(s: &str) -> QueryTree {
+        QueryTree::compile(&XPathParser::new().parse(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn linear_path() {
+        let t = compile("/Catalog/Categories/Product");
+        assert_eq!(t.size(), 4); // root + 3 steps
+        assert_eq!(t.result, 3);
+        assert!(t.nodes[3].produces_value);
+        assert_eq!(t.nodes[1].axis, QAxis::Child);
+    }
+
+    #[test]
+    fn double_slash_folds_to_descendant_edge() {
+        let t = compile("/catalog//productname");
+        assert_eq!(t.size(), 3);
+        assert_eq!(t.nodes[2].axis, QAxis::Descendant);
+        let t = compile("//Discount");
+        assert_eq!(t.size(), 2);
+        assert_eq!(t.nodes[1].axis, QAxis::Descendant);
+    }
+
+    #[test]
+    fn fig6_query_tree_shape() {
+        // //s[.//t = "XML" and f/@w > 300] — Fig. 6(a): r, s (descendant),
+        // with operand subtrees t (descendant of s) and f/@w (child chain).
+        let t = compile(r#"//s[.//t = "XML" and f/@w > 300]"#);
+        // Nodes: root, s, t, f, @w.
+        assert_eq!(t.size(), 5);
+        let s = 1;
+        assert_eq!(t.nodes[s].axis, QAxis::Descendant);
+        assert_eq!(t.nodes[s].operand_slots, 2);
+        assert_eq!(t.result, s);
+        // t hangs off s with a descendant edge, routed to operand 0.
+        let tq = &t.nodes[2];
+        assert_eq!(tq.axis, QAxis::Descendant);
+        assert_eq!(tq.route, Route::Operand { owner: s, idx: 0 });
+        assert!(tq.produces_value);
+        // f is a child of s; @w is an attribute edge under f, operand 1.
+        let f = &t.nodes[3];
+        assert_eq!(f.axis, QAxis::Child);
+        let w = &t.nodes[4];
+        assert_eq!(w.axis, QAxis::Attribute);
+        assert_eq!(w.route, Route::Operand { owner: s, idx: 1 });
+        // The predicate is one And at s.
+        assert_eq!(t.nodes[s].predicates.len(), 1);
+        assert!(matches!(t.nodes[s].predicates[0], PExpr::And(_, _)));
+        // Fig. 6 rendering mentions the descendant edges.
+        let ascii = t.to_ascii();
+        assert!(ascii.contains("= s"), "{ascii}");
+        assert!(ascii.contains("= t"), "{ascii}");
+        assert!(ascii.contains("@ w"), "{ascii}");
+    }
+
+    #[test]
+    fn dot_predicate_attaches_to_context() {
+        let t = compile(r#"/a/b[. = "x"]"#);
+        // Predicate written on b via implicit self: owner is b itself.
+        assert_eq!(t.nodes[2].predicates.len(), 1);
+    }
+
+    #[test]
+    fn count_operand() {
+        let t = compile("/order[count(item) >= 2]");
+        let order = &t.nodes[1];
+        assert_eq!(order.operand_slots, 1);
+        assert!(matches!(
+            &order.predicates[0],
+            PExpr::Cmp(CmpOp::Ge, POp::Count(0), POp::Number(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_shapes_rejected() {
+        let p = XPathParser::new();
+        let rel = p.parse("/a").map(|mut path| {
+            path.absolute = false;
+            path
+        });
+        assert!(QueryTree::compile(&rel.unwrap()).is_err(), "relative query");
+        // `//@id` compiles via the implicit descendant::* element step.
+        let ok = p.parse("//@id").unwrap();
+        let t = QueryTree::compile(&ok).unwrap();
+        // root + implicit * + @id.
+        assert_eq!(t.size(), 3);
+        assert_eq!(t.nodes[1].test, crate::ast::NodeTest::AnyName);
+        assert_eq!(t.nodes[2].axis, QAxis::Attribute);
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let t = compile(r#"//s[.//t[u = 1] = "XML"]"#);
+        // t owns its own nested predicate with operand u.
+        let tq = t
+            .nodes
+            .iter()
+            .position(|n| n.test.to_string() == "t")
+            .unwrap();
+        assert_eq!(t.nodes[tq].predicates.len(), 1);
+        assert_eq!(t.nodes[tq].operand_slots, 1);
+    }
+}

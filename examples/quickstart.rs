@@ -1,0 +1,84 @@
+//! Quickstart: create a database, define a table with an XML column, index
+//! it, load documents (one schema-validated), and query through the SQL/XML
+//! session layer.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use system_rx::engine::{Database, Output, Session};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An in-memory database; Database::create_dir("path") gives a durable one.
+    let db = Database::create_in_memory()?;
+    let session = Session::new(db);
+
+    // A base table with a relational column and a native XML column (§3.1:
+    // the XML column gets its own internal table space + NodeID index).
+    session.execute("CREATE TABLE products (sku VARCHAR, doc XML)")?;
+
+    // An XPath value index (§3.3): simple path, typed keys.
+    session.execute(
+        "CREATE INDEX price_idx ON products (doc) \
+         USING XPATH '/Catalog/Product/RegPrice' AS DOUBLE",
+    )?;
+
+    // Register a schema: compiled to a binary table format in the catalog
+    // (§3.2, Fig. 4) and executed by the validation VM on insert.
+    session.execute(
+        "REGISTER SCHEMA catalog AS '\
+         <xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\
+           <xs:element name=\"Catalog\"><xs:complexType><xs:sequence>\
+             <xs:element name=\"Product\" maxOccurs=\"unbounded\">\
+               <xs:complexType><xs:sequence>\
+                 <xs:element name=\"ProductName\" type=\"xs:string\"/>\
+                 <xs:element name=\"RegPrice\" type=\"xs:decimal\"/>\
+               </xs:sequence></xs:complexType>\
+             </xs:element>\
+           </xs:sequence></xs:complexType></xs:element>\
+         </xs:schema>'",
+    )?;
+
+    // Plain and validated inserts.
+    session.execute(
+        "INSERT INTO products VALUES ('SKU-1', XML('<Catalog>\
+         <Product><ProductName>Widget</ProductName><RegPrice>19.99</RegPrice></Product>\
+         </Catalog>'))",
+    )?;
+    session.execute(
+        "INSERT INTO products VALUES ('SKU-2', XMLVALIDATE('<Catalog>\
+         <Product><ProductName>Gadget</ProductName><RegPrice>149.00</RegPrice></Product>\
+         </Catalog>' ACCORDING TO catalog))",
+    )?;
+
+    // A malformed document is rejected by the validation VM.
+    let bad = session.execute(
+        "INSERT INTO products VALUES ('SKU-3', XMLVALIDATE('<Catalog>\
+         <Product><RegPrice>1</RegPrice></Product></Catalog>' ACCORDING TO catalog))",
+    );
+    println!("validation rejected bad document: {}", bad.is_err());
+
+    // The optimizer picks an index plan (Table 2 case 1: exact DocID list).
+    if let Output::Explain(plan) =
+        session.execute("EXPLAIN SELECT XMLQUERY('/Catalog/Product[RegPrice > 100]') FROM products")?
+    {
+        println!("plan:\n{plan}\n");
+    }
+
+    // Query: the RegPrice predicate runs off the value index.
+    if let Output::Sequence(hits) =
+        session.execute("SELECT XMLQUERY('/Catalog/Product[RegPrice > 100]/ProductName') FROM products")?
+    {
+        for h in &hits {
+            println!("match in doc {}: {}", h.doc, h.value);
+        }
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].value, "Gadget");
+    }
+
+    // Round-trip a stored document.
+    if let Output::Documents(docs) =
+        session.execute("SELECT XMLSERIALIZE(doc) FROM products WHERE DOCID = 1")?
+    {
+        println!("stored doc 1: {}", docs[0].1);
+    }
+    Ok(())
+}

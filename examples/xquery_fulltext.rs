@@ -1,0 +1,65 @@
+//! The §6 future-work extensions in action: XQuery-lite FLWOR expressions
+//! and full-text search, both layered on the same engine machinery.
+//!
+//! Run with: `cargo run --release --example xquery_fulltext`
+
+use system_rx::engine::{Database, Output, Session};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let session = Session::new(Database::create_in_memory()?);
+    session.execute("CREATE TABLE library (shelf VARCHAR, doc XML)")?;
+    session.execute(
+        "CREATE INDEX year_idx ON library (doc) USING XPATH '/book/year' AS DOUBLE",
+    )?;
+    session.execute(
+        "CREATE FULLTEXT INDEX abstract_ft ON library (doc) USING XPATH '/book/abstract'",
+    )?;
+
+    let books = [
+        ("db", "Relational Databases", 1970, "tables tuples and a declarative algebra"),
+        ("db", "Native XML Storage", 2005, "packed records dewey identifiers streaming xpath"),
+        ("pl", "Streaming Algorithms", 2003, "one pass evaluation with bounded state"),
+        ("db", "Query Optimization", 1979, "access path selection with a cost model"),
+    ];
+    for (shelf, title, year, abstract_text) in books {
+        session.execute(&format!(
+            "INSERT INTO library VALUES ('{shelf}', XML('<book><title>{title}</title>\
+             <year>{year}</year><abstract>{abstract_text}</abstract></book>'))"
+        ))?;
+    }
+
+    // Full-text: all terms must appear (DocID-level ANDing of postings).
+    println!("books mentioning both 'streaming' and 'xpath':");
+    if let Output::Rows(rows) =
+        session.execute("SELECT * FROM library WHERE XMLCONTAINS('streaming xpath')")?
+    {
+        for r in &rows {
+            println!("  doc {} on shelf {:?}", r.doc, r.values[0]);
+        }
+        assert_eq!(rows.len(), 1);
+    }
+
+    // FLWOR: filter (index-accelerated through the folded where-predicate),
+    // order, and construct.
+    println!("\nmodern books, newest first:");
+    if let Output::Xml(items) = session.execute(
+        "XQUERY 'for $b in /book where $b/year > 1980 \
+         order by $b/year descending \
+         return <entry><t>{ $b/title }</t><y>{ $b/year }</y></entry>' ON library",
+    )? {
+        for x in &items {
+            println!("  {x}");
+        }
+        assert_eq!(items.len(), 2);
+        assert!(items[0].contains("2005"));
+    }
+
+    // Publishing functions over relational columns (§4.1 through SQL).
+    println!("\nshelf summary via XMLAGG:");
+    if let Output::Xml(v) = session.execute(
+        "SELECT XMLAGG(XMLELEMENT(NAME shelf, shelf) ORDER BY shelf) FROM library",
+    )? {
+        println!("  {}", v[0]);
+    }
+    Ok(())
+}

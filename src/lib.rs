@@ -1,0 +1,45 @@
+//! # System R/X — a native XML database engine on relational infrastructure
+//!
+//! A production-quality Rust reproduction of *"Building a Scalable Native XML
+//! Database Engine on Infrastructure for a Relational Database"* (Guogen
+//! Zhang, IBM Silicon Valley Lab, 2005).
+//!
+//! This façade crate re-exports the whole system:
+//!
+//! * [`storage`] — the relational data-management substrate (slotted pages,
+//!   buffer pool, heaps, B+trees, WAL + recovery, multi-granularity locking);
+//! * [`xml`] — the XML layer (name dictionary, Dewey node IDs, buffered token
+//!   streams, parser, schema compiler + validation VM, serializer);
+//! * [`xpath`] — the XPath compiler and the QuickXScan streaming evaluator;
+//! * [`engine`] — the native XML engine itself (tree-packed storage, NodeID
+//!   index, XPath value indexes, access methods, constructors, the virtual-
+//!   SAX runtime, concurrency control, and the SQL/XML session layer);
+//! * [`gen`] — deterministic workload generators for the experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use system_rx::engine::{Database, Session, Output};
+//!
+//! let db = Database::create_in_memory().unwrap();
+//! let session = Session::new(db);
+//! session.execute("CREATE TABLE products (sku VARCHAR, doc XML)").unwrap();
+//! session.execute(
+//!     "CREATE INDEX price_idx ON products (doc) \
+//!      USING XPATH '/Catalog/Product/RegPrice' AS DOUBLE").unwrap();
+//! session.execute(
+//!     "INSERT INTO products VALUES ('SKU-1', \
+//!      XML('<Catalog><Product><RegPrice>19.99</RegPrice></Product></Catalog>'))").unwrap();
+//! let out = session.execute(
+//!     "SELECT XMLQUERY('/Catalog/Product[RegPrice > 10]') FROM products").unwrap();
+//! match out {
+//!     Output::Sequence(hits) => assert_eq!(hits.len(), 1),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+pub use rx_engine as engine;
+pub use rx_gen as gen;
+pub use rx_storage as storage;
+pub use rx_xml as xml;
+pub use rx_xpath as xpath;

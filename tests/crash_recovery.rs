@@ -1,0 +1,224 @@
+//! Crash-recovery integration tests: committed work survives a crash without
+//! a checkpoint; uncommitted work disappears; indexes stay consistent with
+//! the data after recovery.
+
+use std::path::PathBuf;
+use system_rx::engine::db::{ColValue, ColumnKind, Database, DbConfig};
+use system_rx::engine::{access, update};
+use system_rx::gen::{product_doc, CatalogSpec};
+use system_rx::xml::value::KeyType;
+use system_rx::xml::NodeId;
+use system_rx::xpath::XPathParser;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rx-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn committed_inserts_survive_without_checkpoint() {
+    let dir = tmpdir("commit");
+    let spec = CatalogSpec {
+        products: 30,
+        ..Default::default()
+    };
+    {
+        let db = Database::create_dir(&dir).unwrap();
+        let t = db.create_table("p", &[("doc", ColumnKind::Xml)]).unwrap();
+        db.create_value_index(
+            "p",
+            "price",
+            "doc",
+            "/Catalog/Categories/Product/RegPrice",
+            KeyType::Double,
+        )
+        .unwrap();
+        for i in 0..spec.products {
+            db.insert_row(&t, &[ColValue::Xml(product_doc(&spec, i))])
+                .unwrap();
+        }
+        // Simulated crash: drop without flushing dirty pages.
+    }
+    let db = Database::open_dir(&dir).unwrap();
+    let t = db.table("p").unwrap();
+    let col = t.xml_column("doc").unwrap();
+    // All documents readable.
+    for doc in 1..=spec.products as u64 {
+        let xml = db.serialize_document(&t, "doc", doc).unwrap();
+        assert!(xml.starts_with("<Catalog>"), "doc {doc}");
+    }
+    // Value index consistent: index results == scan results.
+    let path = XPathParser::new()
+        .parse("/Catalog/Categories/Product[RegPrice > 250]")
+        .unwrap();
+    let plan = access::plan(&path, col, false);
+    assert!(plan.explain().contains("DocID"), "{}", plan.explain());
+    let (hits, _) = access::execute(&plan, &t, col, db.dict(), &path).unwrap();
+    assert_eq!(hits.len(), spec.expected_above(250.0));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn uncommitted_transaction_rolls_back_at_recovery() {
+    let dir = tmpdir("loser");
+    {
+        let db = Database::create_dir(&dir).unwrap();
+        let t = db.create_table("p", &[("doc", ColumnKind::Xml)]).unwrap();
+        db.insert_row(&t, &[ColValue::Xml("<a><v>keep</v></a>".into())])
+            .unwrap();
+        // An in-flight transaction that never commits: its WAL records exist
+        // (Begin + ops, no Commit).
+        let txn = db.begin().unwrap();
+        db.insert_row_txn(&txn, &t, &[ColValue::Xml("<a><v>drop</v></a>".into())])
+            .unwrap();
+        // Force the WAL so the loser's records are on disk, then "crash" by
+        // leaking the txn (no commit, no rollback).
+        db.txns().wal().force().unwrap();
+        std::mem::forget(txn);
+    }
+    let db = Database::open_dir(&dir).unwrap();
+    let t = db.table("p").unwrap();
+    assert!(db.serialize_document(&t, "doc", 1).unwrap().contains("keep"));
+    // Doc 2 must be gone (loser undone).
+    assert!(db.serialize_document(&t, "doc", 2).is_err());
+    assert!(db.fetch_row(&t, 2).unwrap().is_none());
+    // And a fresh insert must not collide with the rolled-back DocID space.
+    let d = db
+        .insert_row(&t, &[ColValue::Xml("<a><v>after</v></a>".into())])
+        .unwrap();
+    assert!(d > 1);
+    assert!(db.serialize_document(&t, "doc", d).unwrap().contains("after"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn updates_survive_crash() {
+    let dir = tmpdir("update");
+    {
+        let db = Database::create_dir(&dir).unwrap();
+        let t = db.create_table("p", &[("doc", ColumnKind::Xml)]).unwrap();
+        db.insert_row(&t, &[ColValue::Xml("<a><v>one</v><w>two</w></a>".into())])
+            .unwrap();
+        db.checkpoint().unwrap();
+        // Post-checkpoint committed update + delete of a node.
+        let col = t.xml_column("doc").unwrap();
+        let txn = db.begin().unwrap();
+        update::replace_value(
+            &txn,
+            col.xml_table(),
+            1,
+            &NodeId::from_bytes(&[0x02, 0x02, 0x02]).unwrap(),
+            "ONE",
+        )
+        .unwrap();
+        update::delete_node(
+            &txn,
+            col.xml_table(),
+            1,
+            &NodeId::from_bytes(&[0x02, 0x04]).unwrap(),
+        )
+        .unwrap();
+        txn.commit().unwrap();
+    }
+    let db = Database::open_dir(&dir).unwrap();
+    let t = db.table("p").unwrap();
+    assert_eq!(
+        db.serialize_document(&t, "doc", 1).unwrap(),
+        "<a><v>ONE</v></a>"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn repeated_crash_recover_cycles_are_stable() {
+    let dir = tmpdir("cycles");
+    let mut expected: Vec<u64> = Vec::new();
+    {
+        let db = Database::create_dir(&dir).unwrap();
+        db.create_table("p", &[("doc", ColumnKind::Xml)]).unwrap();
+        db.checkpoint().unwrap();
+    }
+    for round in 0..4 {
+        let db = Database::open_dir(&dir).unwrap();
+        let t = db.table("p").unwrap();
+        // Everything from earlier rounds is still there.
+        for &doc in &expected {
+            assert!(
+                db.serialize_document(&t, "doc", doc).is_ok(),
+                "round {round}, doc {doc}"
+            );
+        }
+        let d = db
+            .insert_row(
+                &t,
+                &[ColValue::Xml(format!("<r><round>{round}</round></r>"))],
+            )
+            .unwrap();
+        expected.push(d);
+        // Crash again (no checkpoint).
+    }
+    let db = Database::open_dir(&dir).unwrap();
+    let t = db.table("p").unwrap();
+    assert_eq!(expected.len(), 4);
+    for (round, doc) in expected.iter().enumerate() {
+        let xml = db.serialize_document(&t, "doc", *doc).unwrap();
+        assert!(xml.contains(&format!("<round>{round}</round>")));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_then_crash_is_equivalent_to_clean_shutdown() {
+    let dir = tmpdir("ckpt");
+    let spec = CatalogSpec {
+        products: 10,
+        ..Default::default()
+    };
+    {
+        let db = Database::create_with(
+            system_rx::engine::Storage::Dir(dir.clone()),
+            DbConfig::default(),
+        )
+        .unwrap();
+        let t = db.create_table("p", &[("doc", ColumnKind::Xml)]).unwrap();
+        for i in 0..spec.products {
+            db.insert_row(&t, &[ColValue::Xml(product_doc(&spec, i))])
+                .unwrap();
+        }
+        db.checkpoint().unwrap();
+    }
+    let db = Database::open_dir(&dir).unwrap();
+    let t = db.table("p").unwrap();
+    for doc in 1..=spec.products as u64 {
+        assert!(db.serialize_document(&t, "doc", doc).is_ok());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fulltext_postings_survive_recovery() {
+    let dir = tmpdir("ft");
+    {
+        let db = Database::create_dir(&dir).unwrap();
+        let t = db.create_table("d", &[("doc", ColumnKind::Xml)]).unwrap();
+        db.create_fulltext_index("d", "ft", "doc", "//Description")
+            .unwrap();
+        db.insert_row(
+            &t,
+            &[ColValue::Xml(
+                "<p><Description>resilient indexed words</Description></p>".into(),
+            )],
+        )
+        .unwrap();
+        // Crash without checkpoint.
+    }
+    let db = Database::open_dir(&dir).unwrap();
+    let t = db.table("d").unwrap();
+    let col = t.xml_column("doc").unwrap();
+    let ftis = col.fulltext_indexes();
+    assert_eq!(ftis.len(), 1, "index definition reloaded from the catalog");
+    let docs = ftis[0].search_all_terms("resilient words").unwrap();
+    assert_eq!(docs, vec![1], "postings replayed from the WAL");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
