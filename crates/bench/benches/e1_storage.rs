@@ -19,17 +19,13 @@ fn bench_storage(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1_storage_load");
     g.sample_size(10);
     for target in [512usize, 1024, 3500] {
-        g.bench_with_input(
-            BenchmarkId::new("packed", target),
-            &target,
-            |b, &target| {
-                b.iter(|| {
-                    let db = mem_db(target);
-                    let t = db.create_table("t", &[("doc", ColumnKind::Xml)]).unwrap();
-                    db.insert_row(&t, &[ColValue::Xml(doc.clone())]).unwrap();
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("packed", target), &target, |b, &target| {
+            b.iter(|| {
+                let db = mem_db(target);
+                let t = db.create_table("t", &[("doc", ColumnKind::Xml)]).unwrap();
+                db.insert_row(&t, &[ColValue::Xml(doc.clone())]).unwrap();
+            });
+        });
     }
     g.bench_function("one_node_per_row", |b| {
         b.iter(|| {

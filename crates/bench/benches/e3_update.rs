@@ -31,14 +31,8 @@ fn bench_update(c: &mut Criterion) {
         let path = XPathParser::new()
             .parse("/Catalog/Categories/Product/ProductName/text()")
             .unwrap();
-        let (hits, _) = access::execute(
-            &access::AccessPlan::FullScan,
-            &t,
-            &col,
-            db.dict(),
-            &path,
-        )
-        .unwrap();
+        let (hits, _) =
+            access::execute(&access::AccessPlan::FullScan, &t, &col, db.dict(), &path).unwrap();
         hits[0].node.clone().unwrap()
     };
     let mut i = 0u64;
@@ -46,8 +40,7 @@ fn bench_update(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let txn = db.begin().unwrap();
-            update::replace_value(&txn, col.xml_table(), 1, &target, &format!("name-{i}"))
-                .unwrap();
+            update::replace_value(&txn, col.xml_table(), 1, &target, &format!("name-{i}")).unwrap();
             txn.commit().unwrap();
         });
     });
@@ -61,7 +54,9 @@ fn bench_update(c: &mut Criterion) {
     g.bench_function("one_node_per_row", |b| {
         b.iter(|| {
             i += 1;
-            shred.update_value(1, &target, &format!("name-{i}")).unwrap();
+            shred
+                .update_value(1, &target, &format!("name-{i}"))
+                .unwrap();
         });
     });
 

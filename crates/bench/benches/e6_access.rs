@@ -14,9 +14,24 @@ fn bench_access(c: &mut Criterion) {
     let dict = std::sync::Arc::clone(db.dict());
 
     let cases = [
-        ("scan", "/Catalog/Categories/Product[RegPrice > 450]", true, false),
-        ("docid_exact", "/Catalog/Categories/Product[RegPrice > 450]", false, false),
-        ("docid_filtering", "/Catalog/Categories/Product[Discount > 0.30]", false, false),
+        (
+            "scan",
+            "/Catalog/Categories/Product[RegPrice > 450]",
+            true,
+            false,
+        ),
+        (
+            "docid_exact",
+            "/Catalog/Categories/Product[RegPrice > 450]",
+            false,
+            false,
+        ),
+        (
+            "docid_filtering",
+            "/Catalog/Categories/Product[Discount > 0.30]",
+            false,
+            false,
+        ),
         (
             "docid_anding",
             "/Catalog/Categories/Product[RegPrice > 400 and Discount > 0.20]",
@@ -59,8 +74,7 @@ fn bench_access(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("scan", |b| {
         b.iter(|| {
-            let (hits, _) =
-                access::execute(&AccessPlan::FullScan, &t, &col, &dict, &path).unwrap();
+            let (hits, _) = access::execute(&AccessPlan::FullScan, &t, &col, &dict, &path).unwrap();
             std::hint::black_box(hits.len());
         });
     });

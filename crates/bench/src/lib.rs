@@ -27,10 +27,7 @@ pub fn mem_db(target_record_size: usize) -> Arc<Database> {
 
 /// Create `products` single-product documents in a `products` table with
 /// price and discount value indexes. Returns the table and the spec.
-pub fn load_product_docs(
-    db: &Arc<Database>,
-    products: usize,
-) -> (Arc<BaseTable>, CatalogSpec) {
+pub fn load_product_docs(db: &Arc<Database>, products: usize) -> (Arc<BaseTable>, CatalogSpec) {
     let t = db
         .create_table("products", &[("doc", ColumnKind::Xml)])
         .expect("table");
@@ -93,7 +90,10 @@ pub fn load_single_catalog(
 pub fn shredded_store() -> (ShreddedStore, NameDict) {
     let pool = BufferPool::new(16_384);
     let space = TableSpace::create(pool, 1, Arc::new(MemBackend::new())).expect("space");
-    (ShreddedStore::create(space).expect("store"), NameDict::new())
+    (
+        ShreddedStore::create(space).expect("store"),
+        NameDict::new(),
+    )
 }
 
 /// A fresh LOB store.

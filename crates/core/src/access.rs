@@ -17,7 +17,7 @@
 //! filter and re-evaluation runs.
 
 use crate::db::{BaseTable, XmlColumn};
-use crate::error::Result;
+use crate::error::{EngineError, Result};
 use crate::traverse::{IdEventSink, Traverser};
 use crate::validx::{IndexEntry, ValueIndex};
 use crate::xmltable::DocId;
@@ -182,10 +182,7 @@ impl AccessPlan {
                 for t in terms {
                     s.push_str(&format!(
                         "\n  index {} [{}] {:?} via {}",
-                        t.index.def.name,
-                        t.index.def.path_text,
-                        t.match_kind,
-                        t.access_path
+                        t.index.def.name, t.index.def.path_text, t.match_kind, t.access_path
                     ));
                 }
                 s
@@ -369,9 +366,7 @@ pub fn plan(path: &Path, column: &XmlColumn, prefer_nodeid: bool) -> AccessPlan 
     // Exactness per Table 2: all exact → exact; under NodeID-level ANDing a
     // single exact term keeps the list exact; otherwise filtering.
     let all_exact = terms.iter().all(|t| t.match_kind == IndexMatch::Exact);
-    let anchor_child_only = path.steps[..=anchor]
-        .iter()
-        .all(|s| s.axis == Axis::Child);
+    let anchor_child_only = path.steps[..=anchor].iter().all(|s| s.axis == Axis::Child);
     let granularity = if prefer_nodeid && anchor_child_only {
         Granularity::NodeId
     } else {
@@ -499,8 +494,7 @@ pub fn execute(
                         .map(|es| {
                             es.iter()
                                 .filter_map(|e| {
-                                    ancestor_at_depth(&e.node, *anchor_depth)
-                                        .map(|a| (e.doc, a))
+                                    ancestor_at_depth(&e.node, *anchor_depth).map(|a| (e.doc, a))
                                 })
                                 .collect()
                         })
@@ -528,16 +522,12 @@ pub fn execute(
                     let docs: BTreeSet<DocId> = nodes.iter().map(|(d, _)| *d).collect();
                     let mut hits = Vec::new();
                     for doc in docs {
-                        let doc_hits =
-                            evaluate_document(column, dict, &tree, doc, &mut stats)?;
+                        let doc_hits = evaluate_document(column, dict, &tree, doc, &mut stats)?;
                         // Keep only hits whose anchor candidate was listed.
                         for h in doc_hits {
                             let keep = match &h.node {
                                 Some(n) => nodes.iter().any(|(d, c)| {
-                                    *d == doc
-                                        && (c == n
-                                            || c.is_ancestor(n)
-                                            || n.is_ancestor(c))
+                                    *d == doc && (c == n || c.is_ancestor(n) || n.is_ancestor(c))
                                 }),
                                 None => true,
                             };
@@ -578,9 +568,7 @@ pub fn run_query_locked(
     let mut stats = AccessStats::default();
     let docs: Vec<DocId> = match &plan {
         AccessPlan::FullScan => all_docids(table)?,
-        AccessPlan::Index {
-            terms, combine, ..
-        } => {
+        AccessPlan::Index { terms, combine, .. } => {
             let mut sets: Vec<BTreeSet<DocId>> = Vec::with_capacity(terms.len());
             for t in terms {
                 let entries = t.index.range(
@@ -603,7 +591,15 @@ pub fn run_query_locked(
             },
             rx_storage::LockMode::S,
         )?;
-        hits.extend(evaluate_document(column, dict, &tree, doc, &mut stats)?);
+        match evaluate_document(column, dict, &tree, doc, &mut stats) {
+            Ok(h) => hits.extend(h),
+            // A candidate gathered before its S lock was granted may have
+            // been deleted by a transaction that committed in between; the
+            // lock only guarantees we never see a *partial* document, not
+            // that the document still exists. Skip it.
+            Err(EngineError::NotFound { .. }) => continue,
+            Err(e) => return Err(e),
+        }
     }
     Ok((hits, stats))
 }
@@ -648,9 +644,8 @@ fn combine_sets<T: Ord + Clone>(mut sets: Vec<BTreeSet<T>>, combine: Combine) ->
                 return BTreeSet::new();
             }
             let first = sets.remove(0);
-            sets.into_iter().fold(first, |acc, s| {
-                acc.intersection(&s).cloned().collect()
-            })
+            sets.into_iter()
+                .fold(first, |acc, s| acc.intersection(&s).cloned().collect())
         }
     }
 }
@@ -696,14 +691,8 @@ mod tests {
             KeyType::Double,
         )
         .unwrap();
-        db.create_value_index(
-            "products",
-            "disc_idx",
-            "doc",
-            "//Discount",
-            KeyType::Double,
-        )
-        .unwrap();
+        db.create_value_index("products", "disc_idx", "doc", "//Discount", KeyType::Double)
+            .unwrap();
         for i in 0..20u32 {
             let price = 10.0 + f64::from(i) * 20.0; // 10..390
             let discount = f64::from(i % 4) * 0.1; // 0, .1, .2, .3
@@ -777,8 +766,7 @@ mod tests {
         let plan = plan(&path, col, false);
         assert!(plan.explain().contains("ORing"), "{}", plan.explain());
         let (hits, _) = execute(&plan, &t, col, db.dict(), &path).unwrap();
-        let (scan_hits, _) =
-            execute(&AccessPlan::FullScan, &t, col, db.dict(), &path).unwrap();
+        let (scan_hits, _) = execute(&AccessPlan::FullScan, &t, col, db.dict(), &path).unwrap();
         assert_eq!(hits.len(), scan_hits.len());
     }
 
@@ -844,12 +832,20 @@ mod tests {
         ));
         // Predicate on an unindexed path.
         assert!(matches!(
-            plan(&q("/Catalog/Categories/Product[ProductName = 'P3']"), col, false),
+            plan(
+                &q("/Catalog/Categories/Product[ProductName = 'P3']"),
+                col,
+                false
+            ),
             AccessPlan::FullScan
         ));
         // != cannot use an index.
         assert!(matches!(
-            plan(&q("/Catalog/Categories/Product[RegPrice != 100]"), col, false),
+            plan(
+                &q("/Catalog/Categories/Product[RegPrice != 100]"),
+                col,
+                false
+            ),
             AccessPlan::FullScan
         ));
     }
@@ -857,10 +853,7 @@ mod tests {
     #[test]
     fn ancestor_truncation() {
         let n = NodeId::from_bytes(&[0x02, 0x04, 0x03, 0x02, 0x06]).unwrap();
-        assert_eq!(
-            ancestor_at_depth(&n, 1).unwrap().as_bytes(),
-            &[0x02][..]
-        );
+        assert_eq!(ancestor_at_depth(&n, 1).unwrap().as_bytes(), &[0x02][..]);
         assert_eq!(
             ancestor_at_depth(&n, 2).unwrap().as_bytes(),
             &[0x02, 0x04][..]
@@ -890,8 +883,14 @@ mod exactness_tests {
         let db = Database::create_in_memory().unwrap();
         let t = db.create_table("c", &[("doc", ColumnKind::Xml)]).unwrap();
         // Exact index for RegPrice, containment (//) index for Discount.
-        db.create_value_index("c", "p", "doc", "/Catalog/Product/RegPrice", KeyType::Double)
-            .unwrap();
+        db.create_value_index(
+            "c",
+            "p",
+            "doc",
+            "/Catalog/Product/RegPrice",
+            KeyType::Double,
+        )
+        .unwrap();
         db.create_value_index("c", "d", "doc", "//Discount", KeyType::Double)
             .unwrap();
         db.insert_row(

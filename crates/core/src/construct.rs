@@ -561,8 +561,8 @@ pub fn external_sort_rows(
         let take = rows.len().min(run_size);
         let mut run: Vec<Vec<String>> = rows.drain(..take).collect();
         run.sort_by(|a, b| a.get(key_slot).cmp(&b.get(key_slot)));
-        let backend = FileBackend::open(&tmp.join(format!("run-{space_id}.dat")))
-            .expect("work file");
+        let backend =
+            FileBackend::open(&tmp.join(format!("run-{space_id}.dat"))).expect("work file");
         let space = TableSpace::create(pool.clone(), space_id, std::sync::Arc::new(backend))
             .expect("work-file space");
         space_id += 1;
@@ -595,9 +595,7 @@ pub fn external_sort_rows(
             best = match best {
                 None => Some(r),
                 Some(b) => {
-                    if row.get(key_slot)
-                        < cursors[b].current.as_ref().unwrap().get(key_slot)
-                    {
+                    if row.get(key_slot) < cursors[b].current.as_ref().unwrap().get(key_slot) {
                         Some(r)
                     } else {
                         Some(b)
@@ -609,8 +607,7 @@ pub fn external_sort_rows(
         let row = cursors[b].current.take().expect("best has a row");
         let (heap, rids) = &runs[b];
         if cursors[b].next < rids.len() {
-            cursors[b].current =
-                Some(decode(&heap.fetch(rids[cursors[b].next]).expect("read")));
+            cursors[b].current = Some(decode(&heap.fetch(rids[cursors[b].next]).expect("read")));
             cursors[b].next += 1;
         }
         out.push(row);

@@ -62,6 +62,61 @@ impl Default for DbConfig {
     }
 }
 
+impl DbConfig {
+    /// Check the knobs make sense; every `create_*`/`open_*` entry point
+    /// calls this so a zeroed config fails with a clear error instead of a
+    /// panic deep in the buffer pool or an unwaitable lock timeout.
+    pub fn validate(&self) -> Result<()> {
+        if self.buffer_pages < rx_storage::buffer::MIN_BUFFER_PAGES {
+            return Err(EngineError::Invalid(format!(
+                "buffer_pages must be at least {} (got {})",
+                rx_storage::buffer::MIN_BUFFER_PAGES,
+                self.buffer_pages
+            )));
+        }
+        if self.target_record_size == 0 {
+            return Err(EngineError::Invalid(
+                "target_record_size must be positive".to_string(),
+            ));
+        }
+        if self.lock_timeout.is_zero() {
+            return Err(EngineError::Invalid(
+                "lock_timeout must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A point-in-time snapshot of the engine's internal counters, aggregated
+/// across the buffer pool, WAL, lock manager, and transaction manager.
+/// Served remotely through the rx-server `stats` request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Buffer-pool page hits.
+    pub buffer_hits: u64,
+    /// Buffer-pool page misses (reads from the backend).
+    pub buffer_misses: u64,
+    /// Pages evicted to make room.
+    pub buffer_evictions: u64,
+    /// Dirty pages written back.
+    pub buffer_writebacks: u64,
+    /// Pages currently resident.
+    pub buffer_resident: u64,
+    /// Total WAL bytes appended.
+    pub wal_bytes: u64,
+    /// Total WAL records appended.
+    pub wal_records: u64,
+    /// Lock requests that blocked at least once.
+    pub lock_waits: u64,
+    /// Lock requests that timed out.
+    pub lock_timeouts: u64,
+    /// Lock requests refused as deadlock victims.
+    pub lock_deadlocks: u64,
+    /// Transactions currently active.
+    pub active_txns: u64,
+}
+
 /// Column kinds of a base table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ColumnKind {
@@ -284,14 +339,15 @@ impl Database {
     fn make_backend(storage: &Storage, space: u32) -> Result<Arc<dyn StorageBackend>> {
         Ok(match storage {
             Storage::Memory => Arc::new(MemBackend::new()),
-            Storage::Dir(dir) => Arc::new(FileBackend::open(&dir.join(format!(
-                "space-{space}.dat"
-            )))?),
+            Storage::Dir(dir) => {
+                Arc::new(FileBackend::open(&dir.join(format!("space-{space}.dat")))?)
+            }
         })
     }
 
     /// Create a new database with explicit storage and config.
     pub fn create_with(storage: Storage, config: DbConfig) -> Result<Arc<Database>> {
+        config.validate()?;
         if let Storage::Dir(dir) = &storage {
             std::fs::create_dir_all(dir).map_err(rx_storage::StorageError::from)?;
         }
@@ -326,6 +382,7 @@ impl Database {
 
     /// Reopen with explicit config.
     pub fn open_with(dir: impl Into<PathBuf>, config: DbConfig) -> Result<Arc<Database>> {
+        config.validate()?;
         let dir: PathBuf = dir.into();
         let storage = Storage::Dir(dir.clone());
         let pool = BufferPool::new(config.buffer_pages);
@@ -361,8 +418,7 @@ impl Database {
         for key in table_keys {
             let name = String::from_utf8_lossy(&key[4..]).to_string();
             let table = db.load_table(&name)?;
-            env.heaps
-                .insert(table.base_space, Arc::clone(&table.heap));
+            env.heaps.insert(table.base_space, Arc::clone(&table.heap));
             env.indexes.insert(
                 (table.base_space, DOCID_INDEX_ANCHOR as u32),
                 Arc::clone(&table.docid_index),
@@ -437,6 +493,29 @@ impl Database {
         Ok(self.txns.begin()?)
     }
 
+    /// Snapshot the engine's internal counters. Cheap (a few atomic loads
+    /// and two short mutex holds) — safe to call from a stats endpoint on
+    /// every request.
+    pub fn stats(&self) -> DbStats {
+        let (buffer_hits, buffer_misses, buffer_evictions, buffer_writebacks) =
+            self.pool.stats.snapshot();
+        let (lock_waits, lock_timeouts, lock_deadlocks) = self.txns.locks().stats.snapshot();
+        let wal = self.txns.wal();
+        DbStats {
+            buffer_hits,
+            buffer_misses,
+            buffer_evictions,
+            buffer_writebacks,
+            buffer_resident: self.pool.resident() as u64,
+            wal_bytes: wal.bytes_written(),
+            wal_records: wal.records_written(),
+            lock_waits,
+            lock_timeouts,
+            lock_deadlocks,
+            active_txns: self.txns.active_count() as u64,
+        }
+    }
+
     fn allocate_space(&self) -> Result<Arc<TableSpace>> {
         let id = self.catalog.bump_counter(K_NEXT_SPACE)? as u32;
         TableSpace::create(
@@ -459,7 +538,11 @@ impl Database {
     // -- tables -------------------------------------------------------------
 
     /// Create a base table.
-    pub fn create_table(&self, name: &str, columns: &[(&str, ColumnKind)]) -> Result<Arc<BaseTable>> {
+    pub fn create_table(
+        &self,
+        name: &str,
+        columns: &[(&str, ColumnKind)],
+    ) -> Result<Arc<BaseTable>> {
         if self.catalog.contains(&k_table(name)) {
             return Err(EngineError::AlreadyExists {
                 kind: "table",
@@ -894,19 +977,15 @@ impl Database {
                 xml.insert_record(txn, doc, &rec)?;
                 Ok(())
             };
-            let mut packer = Packer::with_target(
-                self.config.target_record_size,
-                &mut sink,
-                &mut observer,
-            );
+            let mut packer =
+                Packer::with_target(self.config.target_record_size, &mut sink, &mut observer);
             let parse_result = match schema {
                 None => Parser::new(&self.dict).parse(text, &mut packer),
                 Some(program) => {
                     // Validating path: schema VM feeds the packer directly
                     // (streaming, no intermediate tree) via a tee through an
                     // annotated token stream.
-                    let stream =
-                        rx_xml::schema::validate_to_tokens(text, program, &self.dict)?;
+                    let stream = rx_xml::schema::validate_to_tokens(text, program, &self.dict)?;
                     stream.replay(&mut packer)
                 }
             };
@@ -962,8 +1041,7 @@ impl Database {
             // Re-derive full-text postings by replaying the stored document.
             let ft_indexes = col.fulltext_indexes();
             if !ft_indexes.is_empty() {
-                let trees: Vec<QueryTree> =
-                    ft_indexes.iter().map(|i| i.tree.clone()).collect();
+                let trees: Vec<QueryTree> = ft_indexes.iter().map(|i| i.tree.clone()).collect();
                 let mut keygen = FullTextKeyGen::new(&trees, &self.dict);
                 let mut t = crate::traverse::Traverser::new(&col.xml, doc);
                 struct FtObs<'a, 'q, 'd>(&'a mut FullTextKeyGen<'q, 'd>);
@@ -1231,6 +1309,59 @@ mod tests {
 
     const DOC1: &str = r#"<Catalog><Product><ProductName>Widget</ProductName><RegPrice>9.99</RegPrice></Product></Catalog>"#;
     const DOC2: &str = r#"<Catalog><Product><ProductName>Gadget</ProductName><RegPrice>120</RegPrice><Discount>0.25</Discount></Product></Catalog>"#;
+
+    #[test]
+    fn config_validation_rejects_zeroed_knobs() {
+        let bad_pool = DbConfig {
+            buffer_pages: 0,
+            ..DbConfig::default()
+        };
+        assert!(matches!(
+            Database::create_in_memory_with(bad_pool),
+            Err(EngineError::Invalid(_))
+        ));
+        let bad_timeout = DbConfig {
+            lock_timeout: Duration::ZERO,
+            ..DbConfig::default()
+        };
+        assert!(matches!(
+            Database::create_in_memory_with(bad_timeout),
+            Err(EngineError::Invalid(_))
+        ));
+        let bad_record = DbConfig {
+            target_record_size: 0,
+            ..DbConfig::default()
+        };
+        assert!(matches!(
+            Database::create_in_memory_with(bad_record),
+            Err(EngineError::Invalid(_))
+        ));
+        assert!(DbConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn stats_snapshot_moves_with_activity() {
+        let db = Database::create_in_memory().unwrap();
+        let t = catalog_table(&db);
+        let before = db.stats();
+        db.insert_row(
+            &t,
+            &[
+                ColValue::Str("SKU-1".into()),
+                ColValue::Xml(DOC1.to_string()),
+            ],
+        )
+        .unwrap();
+        let after = db.stats();
+        assert!(after.wal_records > before.wal_records);
+        assert!(after.wal_bytes > before.wal_bytes);
+        assert!(after.buffer_hits + after.buffer_misses > 0);
+        assert_eq!(after.active_txns, 0);
+        let txn = db.begin().unwrap();
+        assert_eq!(db.stats().active_txns, 1);
+        txn.commit().unwrap();
+        assert_eq!(db.stats().active_txns, 0);
+    }
 
     #[test]
     fn insert_fetch_serialize() {

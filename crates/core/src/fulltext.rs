@@ -289,8 +289,7 @@ impl FullTextIndex {
         }
         let mut acc: Option<BTreeSet<DocId>> = None;
         for t in &terms {
-            let docs: BTreeSet<DocId> =
-                self.search_term(t)?.into_iter().map(|p| p.doc).collect();
+            let docs: BTreeSet<DocId> = self.search_term(t)?.into_iter().map(|p| p.doc).collect();
             acc = Some(match acc {
                 None => docs,
                 Some(prev) => prev.intersection(&docs).copied().collect(),
@@ -418,7 +417,14 @@ mod tests {
         (xt, fti, txns, NameDict::new())
     }
 
-    fn insert(xt: &XmlTable, fti: &FullTextIndex, txns: &Arc<TxnManager>, dict: &NameDict, doc: DocId, text: &str) {
+    fn insert(
+        xt: &XmlTable,
+        fti: &FullTextIndex,
+        txns: &Arc<TxnManager>,
+        dict: &NameDict,
+        doc: DocId,
+        text: &str,
+    ) {
         let trees = vec![fti.tree.clone()];
         let mut keygen = FullTextKeyGen::new(&trees, dict);
         let mut records = Vec::new();
@@ -437,17 +443,45 @@ mod tests {
     #[test]
     fn term_search_and_anding() {
         let (xt, fti, txns, dict) = setup();
-        insert(&xt, &fti, &txns, &dict, 1,
-            "<p><Description>durable portable widget</Description></p>");
-        insert(&xt, &fti, &txns, &dict, 2,
-            "<p><Description>durable enterprise gadget</Description></p>");
-        insert(&xt, &fti, &txns, &dict, 3,
-            "<p><Description>Portable Gadget</Description></p>");
+        insert(
+            &xt,
+            &fti,
+            &txns,
+            &dict,
+            1,
+            "<p><Description>durable portable widget</Description></p>",
+        );
+        insert(
+            &xt,
+            &fti,
+            &txns,
+            &dict,
+            2,
+            "<p><Description>durable enterprise gadget</Description></p>",
+        );
+        insert(
+            &xt,
+            &fti,
+            &txns,
+            &dict,
+            3,
+            "<p><Description>Portable Gadget</Description></p>",
+        );
 
         // Single terms (case-insensitive).
-        let docs: Vec<DocId> = fti.search_term("DURABLE").unwrap().iter().map(|p| p.doc).collect();
+        let docs: Vec<DocId> = fti
+            .search_term("DURABLE")
+            .unwrap()
+            .iter()
+            .map(|p| p.doc)
+            .collect();
         assert_eq!(docs, vec![1, 2]);
-        let docs: Vec<DocId> = fti.search_term("portable").unwrap().iter().map(|p| p.doc).collect();
+        let docs: Vec<DocId> = fti
+            .search_term("portable")
+            .unwrap()
+            .iter()
+            .map(|p| p.doc)
+            .collect();
         assert_eq!(docs, vec![1, 3]);
         assert!(fti.search_term("missing").unwrap().is_empty());
 
@@ -461,19 +495,37 @@ mod tests {
     fn same_node_anding_is_stricter() {
         let (xt, fti, txns, dict) = setup();
         // Two Description nodes in one doc, terms split across them.
-        insert(&xt, &fti, &txns, &dict, 1,
-            "<p><Description>alpha beta</Description><Description>gamma</Description></p>");
+        insert(
+            &xt,
+            &fti,
+            &txns,
+            &dict,
+            1,
+            "<p><Description>alpha beta</Description><Description>gamma</Description></p>",
+        );
         // Doc-level AND finds it; node-level does not.
         assert_eq!(fti.search_all_terms("alpha gamma").unwrap(), vec![1]);
-        assert!(fti.search_all_terms_same_node("alpha gamma").unwrap().is_empty());
-        assert_eq!(fti.search_all_terms_same_node("alpha beta").unwrap().len(), 1);
+        assert!(fti
+            .search_all_terms_same_node("alpha gamma")
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            fti.search_all_terms_same_node("alpha beta").unwrap().len(),
+            1
+        );
     }
 
     #[test]
     fn postings_point_into_records() {
         let (xt, fti, txns, dict) = setup();
-        insert(&xt, &fti, &txns, &dict, 9,
-            "<p><Description>needle in haystack</Description></p>");
+        insert(
+            &xt,
+            &fti,
+            &txns,
+            &dict,
+            9,
+            "<p><Description>needle in haystack</Description></p>",
+        );
         let p = &fti.search_term("needle").unwrap()[0];
         // The posting's node resolves through the NodeID index and the RID
         // leads to a record of the right document.

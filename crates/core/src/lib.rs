@@ -48,7 +48,9 @@ pub mod xmltable;
 pub mod xquery;
 
 pub use access::{AccessPlan, AccessStats, QueryHit};
-pub use db::{BaseTable, ColValue, ColumnKind, Database, DbConfig, Storage, XmlColumn};
+pub use db::{
+    BaseTable, ColValue, ColumnKind, Database, DbConfig, DbStats, Row, Storage, XmlColumn,
+};
 pub use error::{EngineError, Result};
 pub use sqlxml::{Output, Session};
 pub use xmltable::{DocId, XmlTable};

@@ -133,11 +133,13 @@ impl MvccXmlStore {
             row.extend_from_slice(&rec.bytes);
             let rid = self.heap.insert(&row)?;
             for upper in &rec.interval_uppers {
-                self.index.insert(&versioned_key(doc, ver, upper), rid.to_u64())?;
+                self.index
+                    .insert(&versioned_key(doc, ver, upper), rid.to_u64())?;
             }
         }
         for (upper, rid) in carry {
-            self.index.insert(&versioned_key(doc, ver, upper), rid.to_u64())?;
+            self.index
+                .insert(&versioned_key(doc, ver, upper), rid.to_u64())?;
         }
         // Publish: bump the commit clock after the data is in place.
         let ts = self.clock.fetch_add(1, Ordering::AcqRel) + 1;
@@ -342,7 +344,10 @@ mod tests {
         let carry = s.version_entries(1, 1).unwrap();
         s.commit_version(1, &[], &carry).unwrap();
         let (heap_after, entries) = s.stats().unwrap();
-        assert_eq!(heap_before, heap_after, "no record copies for carried intervals");
+        assert_eq!(
+            heap_before, heap_after,
+            "no record copies for carried intervals"
+        );
         assert_eq!(entries, 2 * carry.len() as u64);
         // Both versions resolve to the same record.
         let snap = s.snapshot();
@@ -355,8 +360,7 @@ mod tests {
     fn gc_reclaims_invisible_versions() {
         let (s, dict) = store();
         for i in 0..5 {
-            let recs =
-                pack_for_mvcc(&format!("<a><v>{i}</v></a>"), &dict, 3500).unwrap();
+            let recs = pack_for_mvcc(&format!("<a><v>{i}</v></a>"), &dict, 3500).unwrap();
             s.commit_version(1, &recs, &[]).unwrap();
         }
         let (recs_before, _) = s.stats().unwrap();
@@ -403,8 +407,7 @@ mod tests {
             let dictw = &dict;
             scope.spawn(move || {
                 for i in 1..=50 {
-                    let recs =
-                        pack_for_mvcc(&format!("<a><v>{i}</v></a>"), dictw, 3500).unwrap();
+                    let recs = pack_for_mvcc(&format!("<a><v>{i}</v></a>"), dictw, 3500).unwrap();
                     sw.commit_version(1, &recs, &[]).unwrap();
                 }
             });

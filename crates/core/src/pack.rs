@@ -326,11 +326,7 @@ impl<'s, 'o> Packer<'s, 'o> {
 
     /// Spill child segments of `elem` into records (context = `elem`) and
     /// replace them with merged range proxies.
-    fn spill_children(
-        &mut self,
-        elem: &mut OpenElem,
-        stack_depth: usize,
-    ) -> Result<()> {
+    fn spill_children(&mut self, elem: &mut OpenElem, stack_depth: usize) -> Result<()> {
         // Header for all spilled records: context = elem.
         let path: Vec<QNameId> = {
             let mut p = self.path_names(stack_depth);
@@ -887,7 +883,9 @@ pub fn read_node(bytes: &[u8], pos: usize) -> Result<(NodeView<'_>, usize)> {
             NodeView::Proxy { first, last, count }
         }
         other => {
-            return Err(EngineError::Record(format!("unknown node kind byte {other}")))
+            return Err(EngineError::Record(format!(
+                "unknown node kind byte {other}"
+            )))
         }
     };
     Ok((view, pos + d.pos()))
@@ -988,9 +986,7 @@ mod tests {
                     other => panic!("expected attribute, got {other:?}"),
                 }
                 match kids.next().unwrap().unwrap() {
-                    NodeView::Element {
-                        name, content, ..
-                    } => {
+                    NodeView::Element { name, content, .. } => {
                         assert!(dict.matches_local(name, "b"));
                         let mut sub = read_nodes(content);
                         match sub.next().unwrap().unwrap() {
@@ -1021,8 +1017,8 @@ mod tests {
         assert_eq!(records.len(), 2, "expected the Fig. 3 two-record layout");
         let rid2 = &records[0];
         let rid1 = &records[1]; // root record emitted last
-        // rid1 holds two ID runs: up to Node1 (02), and Node6..Node8
-        // (0204..020602) — exactly Fig. 3's (02,rid1) and (020602,rid1).
+                                // rid1 holds two ID runs: up to Node1 (02), and Node6..Node8
+                                // (0204..020602) — exactly Fig. 3's (02,rid1) and (020602,rid1).
         assert_eq!(
             rid1.interval_uppers
                 .iter()
@@ -1035,7 +1031,9 @@ mod tests {
         // elements each containing a text node, so the run's upper endpoint
         // is Node5's text child: 02 02 06 02.)
         assert_eq!(rid2.interval_uppers.len(), 1);
-        assert!(rid2.interval_uppers[0].as_bytes().starts_with(&[0x02, 0x02, 0x06]));
+        assert!(rid2.interval_uppers[0]
+            .as_bytes()
+            .starts_with(&[0x02, 0x02, 0x06]));
         // rid2's context is Node1, carried in its header path.
         let hdr = read_header(&rid2.bytes).unwrap();
         assert_eq!(hdr.context.as_bytes(), &[0x02]);
@@ -1077,7 +1075,10 @@ mod tests {
             }
         }
         assert!(proxies >= 1);
-        assert_eq!(covered, 20, "proxies + inline subtrees must cover all 20 products");
+        assert_eq!(
+            covered, 20,
+            "proxies + inline subtrees must cover all 20 products"
+        );
     }
 
     #[test]
@@ -1098,8 +1099,9 @@ mod tests {
         // Coverage must be complete.
         let hdr = read_header(&root.bytes).unwrap();
         let body = &root.bytes[hdr.body_offset..];
-        let NodeView::Element { content, entries, .. } =
-            read_nodes(body).next().unwrap().unwrap()
+        let NodeView::Element {
+            content, entries, ..
+        } = read_nodes(body).next().unwrap().unwrap()
         else {
             panic!()
         };

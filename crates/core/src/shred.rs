@@ -76,9 +76,7 @@ fn decode_node(rec: &[u8]) -> Result<ShredNode> {
         3 => ShredKind::Text,
         4 => ShredKind::Comment,
         5 => ShredKind::Pi,
-        other => {
-            return Err(EngineError::Record(format!("bad shred kind byte {other}")))
-        }
+        other => return Err(EngineError::Record(format!("bad shred kind byte {other}"))),
     };
     let name = d.varint()? as QNameId;
     let value = d.str()?.to_string();

@@ -160,8 +160,7 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
                 {
                     i += 1;
                 }
@@ -250,7 +249,9 @@ impl P {
         if &got == t {
             Ok(())
         } else {
-            Err(EngineError::Invalid(format!("expected {t:?}, found {got:?}")))
+            Err(EngineError::Invalid(format!(
+                "expected {t:?}, found {got:?}"
+            )))
         }
     }
 
@@ -581,8 +582,13 @@ impl P {
     fn select(&mut self, s: &Session, explain_only: bool) -> Result<Output> {
         self.kw("SELECT")?;
         enum Proj {
-            Query { xpath: String, passing: Option<String> },
-            Serialize { col: Option<String> },
+            Query {
+                xpath: String,
+                passing: Option<String>,
+            },
+            Serialize {
+                col: Option<String>,
+            },
             Star,
             Construct(Ctor),
             Agg {
@@ -734,8 +740,7 @@ impl P {
                 }
                 let col = Self::xml_column_of(&table, None)?;
                 let path = XPathParser::new().parse(&xp)?;
-                let (hits, _, _) =
-                    access::run_query(&table, col, dict, &path, s.prefer_nodeid)?;
+                let (hits, _, _) = access::run_query(&table, col, dict, &path, s.prefer_nodeid)?;
                 let mut docs: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
                 docs.sort_unstable();
                 docs.dedup();
@@ -798,9 +803,7 @@ impl P {
             (Proj::Serialize { col }, Filter::Doc(doc)) => {
                 let c = Self::xml_column_of(&table, col.as_deref())?;
                 let _ = c;
-                let name = col.unwrap_or_else(|| {
-                    table.xml_columns().first().unwrap().name.clone()
-                });
+                let name = col.unwrap_or_else(|| table.xml_columns().first().unwrap().name.clone());
                 Ok(Output::Documents(vec![(
                     doc,
                     s.db.serialize_document(&table, &name, doc)?,
@@ -820,8 +823,7 @@ impl P {
             (Proj::Serialize { .. }, Filter::Exists(xp)) => {
                 let col = Self::xml_column_of(&table, None)?;
                 let path = XPathParser::new().parse(&xp)?;
-                let (hits, _, _) =
-                    access::run_query(&table, col, dict, &path, s.prefer_nodeid)?;
+                let (hits, _, _) = access::run_query(&table, col, dict, &path, s.prefer_nodeid)?;
                 let mut docs: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
                 docs.sort_unstable();
                 docs.dedup();
@@ -964,10 +966,8 @@ mod tests {
         let s = session();
         s.execute("CREATE TABLE products (sku VARCHAR, doc XML)")
             .unwrap();
-        s.execute(
-            "CREATE INDEX price_idx ON products (doc) USING XPATH '/c/p/price' AS DOUBLE",
-        )
-        .unwrap();
+        s.execute("CREATE INDEX price_idx ON products (doc) USING XPATH '/c/p/price' AS DOUBLE")
+            .unwrap();
         s.execute("INSERT INTO products VALUES ('A', XML('<c><p><price>10</price></p></c>'))")
             .unwrap();
         s.execute("INSERT INTO products VALUES ('B', XML('<c><p><price>99</price></p></c>'))")
@@ -1010,7 +1010,9 @@ mod tests {
         s.execute("CREATE TABLE t (doc XML)").unwrap();
         s.execute("INSERT INTO t VALUES (XML('<a><b>x</b></a>'))")
             .unwrap();
-        let out = s.execute("SELECT XMLSERIALIZE(doc) FROM t WHERE DOCID = 1").unwrap();
+        let out = s
+            .execute("SELECT XMLSERIALIZE(doc) FROM t WHERE DOCID = 1")
+            .unwrap();
         match out {
             Output::Documents(docs) => {
                 assert_eq!(docs[0].1, "<a><b>x</b></a>");
@@ -1078,7 +1080,10 @@ mod tests {
         s.execute("CREATE TABLE t (doc XML)").unwrap();
         s.execute("INSERT INTO t VALUES (XML('<a t=\"x\">it''s</a>'))")
             .unwrap();
-        match s.execute("SELECT XMLSERIALIZE(doc) FROM t WHERE DOCID = 1").unwrap() {
+        match s
+            .execute("SELECT XMLSERIALIZE(doc) FROM t WHERE DOCID = 1")
+            .unwrap()
+        {
             Output::Documents(d) => assert_eq!(d[0].1, "<a t=\"x\">it's</a>"),
             other => panic!("unexpected {other:?}"),
         }
@@ -1147,10 +1152,7 @@ mod publish_tests {
         match out {
             Output::Xml(v) => {
                 assert_eq!(v.len(), 1);
-                assert_eq!(
-                    v[0],
-                    "<d>Accting</d><d>Databases</d><d>Math</d>"
-                );
+                assert_eq!(v[0], "<d>Accting</d><d>Databases</d><d>Math</d>");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1203,9 +1205,7 @@ mod publish_tests {
         s.execute("INSERT INTO t VALUES ('cold', XML('<r><v>1</v></r>'))")
             .unwrap();
         let out = s
-            .execute(
-                "SELECT XMLELEMENT(NAME pick, tag) FROM t WHERE XMLEXISTS('/r[v > 5]')",
-            )
+            .execute("SELECT XMLELEMENT(NAME pick, tag) FROM t WHERE XMLEXISTS('/r[v > 5]')")
             .unwrap();
         match out {
             Output::Xml(rows) => assert_eq!(rows, vec!["<pick>hot</pick>".to_string()]),
@@ -1221,7 +1221,8 @@ mod fulltext_sql_tests {
     #[test]
     fn xmlcontains_end_to_end() {
         let s = Session::new(Database::create_in_memory().unwrap());
-        s.execute("CREATE TABLE docs (title VARCHAR, doc XML)").unwrap();
+        s.execute("CREATE TABLE docs (title VARCHAR, doc XML)")
+            .unwrap();
         s.execute("CREATE FULLTEXT INDEX ft ON docs (doc) USING XPATH '//Description'")
             .unwrap();
         s.execute(
@@ -1233,7 +1234,10 @@ mod fulltext_sql_tests {
         )
         .unwrap();
         // Single + multi term.
-        match s.execute("SELECT * FROM docs WHERE XMLCONTAINS('portable')").unwrap() {
+        match s
+            .execute("SELECT * FROM docs WHERE XMLCONTAINS('portable')")
+            .unwrap()
+        {
             Output::Rows(rows) => {
                 assert_eq!(rows.len(), 1);
                 assert_eq!(rows[0].values[0], "a");
@@ -1267,7 +1271,10 @@ mod fulltext_sql_tests {
         }
         // Postings follow deletes.
         s.execute("DELETE FROM docs WHERE DOCID = 1").unwrap();
-        match s.execute("SELECT * FROM docs WHERE XMLCONTAINS('portable')").unwrap() {
+        match s
+            .execute("SELECT * FROM docs WHERE XMLCONTAINS('portable')")
+            .unwrap()
+        {
             Output::Rows(rows) => assert!(rows.is_empty()),
             other => panic!("unexpected {other:?}"),
         }

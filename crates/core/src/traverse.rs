@@ -133,13 +133,22 @@ impl<'x> Traverser<'x> {
                 self.stats.nodes += 1;
                 sink.id_event(&abs, Event::StartElement { name: *name })?;
                 for (p, u) in nsdecls {
-                    sink.id_event(&abs, Event::NamespaceDecl { prefix: *p, uri: *u })?;
+                    sink.id_event(
+                        &abs,
+                        Event::NamespaceDecl {
+                            prefix: *p,
+                            uri: *u,
+                        },
+                    )?;
                 }
                 self.replay_region(content, &abs, sink)?;
                 sink.id_event(&abs, Event::EndElement)?;
             }
             NodeView::Attribute {
-                rel, name, ann, value,
+                rel,
+                name,
+                ann,
+                value,
             } => {
                 let abs = ctx.child(rel);
                 self.stats.nodes += 1;
@@ -421,7 +430,9 @@ fn find_in_region(
                         NodeView::Comment { value, .. } => StoredNode::Comment {
                             value: (*value).to_string(),
                         },
-                        NodeView::Pi { target: t, value, .. } => StoredNode::Pi {
+                        NodeView::Pi {
+                            target: t, value, ..
+                        } => StoredNode::Pi {
                             target: *t,
                             value: (*value).to_string(),
                         },

@@ -144,7 +144,10 @@ fn decode_entry(view: &NodeView<'_>) -> Result<ENode> {
             children: decode_region(content)?,
         },
         NodeView::Attribute {
-            rel, name, ann, value,
+            rel,
+            name,
+            ann,
+            value,
         } => ENode::Attr {
             rel: rel.clone(),
             name: *name,
@@ -200,7 +203,10 @@ pub fn encode_entry(node: &ENode, out: &mut Enc) {
             out.raw(&body);
         }
         ENode::Attr {
-            rel, name, ann, value,
+            rel,
+            name,
+            ann,
+            value,
         } => {
             out.u8(kind::ATTRIBUTE);
             out.bytes(rel.as_bytes());
@@ -310,10 +316,12 @@ struct EditCtx {
 }
 
 fn load_edit(xml: &XmlTable, doc: DocId, target: &NodeId) -> Result<EditCtx> {
-    let rid = xml.locate(doc, target)?.ok_or_else(|| EngineError::NotFound {
-        kind: "node",
-        name: format!("docid {doc} node {target}"),
-    })?;
+    let rid = xml
+        .locate(doc, target)?
+        .ok_or_else(|| EngineError::NotFound {
+            kind: "node",
+            name: format!("docid {doc} node {target}"),
+        })?;
     let row = xml.fetch(rid)?;
     let hdr = read_header(&row.data)?;
     let entries = decode_region(&row.data[hdr.body_offset..])?;
@@ -390,8 +398,11 @@ pub fn replace_value(
 ) -> Result<UpdateStats> {
     let _latch = xml.edit_guard();
     let mut edit = load_edit(xml, doc, target)?;
-    let found = with_target(&mut edit.entries, &edit.ctx, target, &mut |list, i, _| {
-        match &mut list[i] {
+    let found = with_target(
+        &mut edit.entries,
+        &edit.ctx,
+        target,
+        &mut |list, i, _| match &mut list[i] {
             ENode::Text { value, .. } | ENode::Attr { value, .. } => {
                 *value = new_value.to_string();
                 Ok(())
@@ -399,8 +410,8 @@ pub fn replace_value(
             other => Err(EngineError::Invalid(format!(
                 "replace_value target must be a text or attribute node, found {other:?}"
             ))),
-        }
-    })?;
+        },
+    )?;
     if found.is_none() {
         return Err(EngineError::NotFound {
             kind: "node",
@@ -412,12 +423,7 @@ pub fn replace_value(
 
 /// Delete the subtree rooted at `target` (records fully inside the subtree
 /// are reclaimed through the NodeID index).
-pub fn delete_node(
-    txn: &Txn,
-    xml: &XmlTable,
-    doc: DocId,
-    target: &NodeId,
-) -> Result<UpdateStats> {
+pub fn delete_node(txn: &Txn, xml: &XmlTable, doc: DocId, target: &NodeId) -> Result<UpdateStats> {
     let _latch = xml.edit_guard();
     let mut edit = load_edit(xml, doc, target)?;
     let found = with_target(&mut edit.entries, &edit.ctx, target, &mut |list, i, _| {
@@ -573,8 +579,9 @@ pub fn insert_fragment(
                         .position(|c| c.rel() > &sib_rel)
                         .unwrap_or(children.len());
                     let rel = match children.get(idx) {
-                        Some(next) => RelId::between(&sib_rel, next.rel())
-                            .map_err(EngineError::from)?,
+                        Some(next) => {
+                            RelId::between(&sib_rel, next.rel()).map_err(EngineError::from)?
+                        }
                         None => sib_rel.next_sibling(),
                     };
                     (idx, rel)
@@ -866,9 +873,9 @@ impl FragmentBuilder {
             root: None,
         };
         rx_xml::Parser::new(dict).parse(text, &mut b)?;
-        let root = b.root.ok_or_else(|| {
-            EngineError::Invalid("fragment must contain one root element".into())
-        })?;
+        let root = b
+            .root
+            .ok_or_else(|| EngineError::Invalid("fragment must contain one root element".into()))?;
         Ok(FragmentBuilder { root })
     }
 
@@ -996,7 +1003,10 @@ mod tests {
         txn.commit().unwrap();
         assert_eq!(serialize(&xt, &dict), "<a><keep>k</keep></a>");
         let after = xt.heap().stats().unwrap().records;
-        assert!(after < before, "spilled records reclaimed: {before} -> {after}");
+        assert!(
+            after < before,
+            "spilled records reclaimed: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -1008,10 +1018,26 @@ mod tests {
         let txn = txns.begin().unwrap();
         insert_fragment(&txn, &xt, 1, &dict, &a, InsertPos::First, "<f/>").unwrap();
         insert_fragment(&txn, &xt, 1, &dict, &a, InsertPos::Last, "<l/>").unwrap();
-        insert_fragment(&txn, &xt, 1, &dict, &a, InsertPos::Before(m2.clone()), "<b2/>")
-            .unwrap();
-        insert_fragment(&txn, &xt, 1, &dict, &a, InsertPos::After(m1.clone()), "<a1/>")
-            .unwrap();
+        insert_fragment(
+            &txn,
+            &xt,
+            1,
+            &dict,
+            &a,
+            InsertPos::Before(m2.clone()),
+            "<b2/>",
+        )
+        .unwrap();
+        insert_fragment(
+            &txn,
+            &xt,
+            1,
+            &dict,
+            &a,
+            InsertPos::After(m1.clone()),
+            "<a1/>",
+        )
+        .unwrap();
         txn.commit().unwrap();
         assert_eq!(
             serialize(&xt, &dict),
@@ -1046,10 +1072,7 @@ mod tests {
         assert!(out.ends_with("<m>0</m><x>R</x></a>"));
         // The original nodes kept their IDs.
         assert!(xt.locate(1, &left).unwrap().is_some());
-        assert_eq!(
-            crate::traverse::string_value(&xt, 1, &left).unwrap(),
-            "L"
-        );
+        assert_eq!(crate::traverse::string_value(&xt, 1, &left).unwrap(), "L");
     }
 
     #[test]
@@ -1058,27 +1081,11 @@ mod tests {
         // Insert a huge child: the single record must split.
         let big = format!("<huge>{}</huge>", "h".repeat(3000));
         let txn = txns.begin().unwrap();
-        let stats = insert_fragment(
-            &txn,
-            &xt,
-            1,
-            &dict,
-            &nid(&[0x02]),
-            InsertPos::Last,
-            &big,
-        )
-        .unwrap();
+        let stats =
+            insert_fragment(&txn, &xt, 1, &dict, &nid(&[0x02]), InsertPos::Last, &big).unwrap();
         // And another to force > MAX_RECORD_SIZE.
-        let stats2 = insert_fragment(
-            &txn,
-            &xt,
-            1,
-            &dict,
-            &nid(&[0x02]),
-            InsertPos::Last,
-            &big,
-        )
-        .unwrap();
+        let stats2 =
+            insert_fragment(&txn, &xt, 1, &dict, &nid(&[0x02]), InsertPos::Last, &big).unwrap();
         txn.commit().unwrap();
         assert!(stats.records_touched + stats2.records_touched >= 2);
         let out = serialize(&xt, &dict);

@@ -400,10 +400,7 @@ mod tests {
     use rx_storage::{BufferPool, LockManager, MemBackend, TxnManager};
     use rx_xml::parser::Parser;
 
-    fn setup(
-        path: &str,
-        key_type: KeyType,
-    ) -> (XmlTable, ValueIndex, Arc<TxnManager>, NameDict) {
+    fn setup(path: &str, key_type: KeyType) -> (XmlTable, ValueIndex, Arc<TxnManager>, NameDict) {
         let pool = BufferPool::new(1024);
         let xspace = TableSpace::create(pool.clone(), 10, Arc::new(MemBackend::new())).unwrap();
         let ispace = TableSpace::create(pool, 11, Arc::new(MemBackend::new())).unwrap();
@@ -499,9 +496,7 @@ mod tests {
         // price > 7 and price < 100: expect 7.5 and 25.
         let lo = encode_key(KeyType::Double, "7").unwrap();
         let hi = encode_key(KeyType::Double, "100").unwrap();
-        let hits = vi
-            .range(Some((&lo, false)), Some((&hi, false)))
-            .unwrap();
+        let hits = vi.range(Some((&lo, false)), Some((&hi, false))).unwrap();
         assert_eq!(hits.len(), 2);
         // Entries come back in key order: 7.5 then 25.
         let v75 = encode_key(KeyType::Double, "7.5").unwrap();

@@ -234,9 +234,7 @@ impl XmlTable {
     pub fn locate(&self, doc: DocId, node: &NodeId) -> Result<Option<Rid>> {
         let probe = nodeid_key(doc, node);
         match self.nodeid_index.search_ceil(&probe)? {
-            Some((key, rid)) if key.starts_with(&doc.to_be_bytes()) => {
-                Ok(Some(Rid::from_u64(rid)))
-            }
+            Some((key, rid)) if key.starts_with(&doc.to_be_bytes()) => Ok(Some(Rid::from_u64(rid))),
             _ => Ok(None),
         }
     }

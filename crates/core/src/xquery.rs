@@ -102,8 +102,7 @@ impl<'a> Cur<'a> {
     fn ident(&mut self) -> Result<&'a str> {
         self.ws();
         let start = self.pos;
-        while self.s[self.pos..]
-            .starts_with(|c: char| c.is_alphanumeric() || c == '_' || c == '-')
+        while self.s[self.pos..].starts_with(|c: char| c.is_alphanumeric() || c == '_' || c == '-')
         {
             self.pos += self.s[self.pos..].chars().next().unwrap().len_utf8();
         }
@@ -124,8 +123,7 @@ impl<'a> Cur<'a> {
         while self.pos < self.s.len() {
             let rest = &self.s[self.pos..];
             if keywords.iter().any(|k| {
-                rest.starts_with(k)
-                    && (self.pos == 0 || bytes[self.pos - 1].is_ascii_whitespace())
+                rest.starts_with(k) && (self.pos == 0 || bytes[self.pos - 1].is_ascii_whitespace())
             }) {
                 break;
             }
@@ -151,9 +149,10 @@ pub fn parse_flwor(input: &str, xpath: &XPathParser) -> Result<Flwor> {
     if c.eat("where") {
         let cond_text = c.until_keyword(&["order", "return"]);
         let pred = parse_condition(cond_text, &var, xpath)?;
-        let last = binding.steps.last_mut().ok_or_else(|| {
-            EngineError::Invalid("binding path needs at least one step".into())
-        })?;
+        let last = binding
+            .steps
+            .last_mut()
+            .ok_or_else(|| EngineError::Invalid("binding path needs at least one step".into()))?;
         last.predicates.push(pred);
     }
 
@@ -163,7 +162,10 @@ pub fn parse_flwor(input: &str, xpath: &XPathParser) -> Result<Flwor> {
         let ob_text = c.until_keyword(&["return"]);
         let (path_text, desc) = match ob_text.strip_suffix("descending") {
             Some(p) => (p.trim(), true),
-            None => (ob_text.strip_suffix("ascending").unwrap_or(ob_text).trim(), false),
+            None => (
+                ob_text.strip_suffix("ascending").unwrap_or(ob_text).trim(),
+                false,
+            ),
         };
         Some((var_relative_path(path_text, &var, xpath)?, desc))
     } else {
@@ -193,9 +195,7 @@ fn var_relative_path(text: &str, var: &str, xpath: &XPathParser) -> Result<Path>
     let t = text.trim();
     let prefix = format!("${var}");
     let Some(rest) = t.strip_prefix(&prefix) else {
-        return Err(EngineError::Invalid(format!(
-            "expected ${var}/… in {t:?}"
-        )));
+        return Err(EngineError::Invalid(format!("expected ${var}/… in {t:?}")));
     };
     let rest = rest.trim();
     if rest.is_empty() {
@@ -205,9 +205,9 @@ fn var_relative_path(text: &str, var: &str, xpath: &XPathParser) -> Result<Path>
             steps: Vec::new(),
         });
     }
-    let rel = rest.strip_prefix('/').ok_or_else(|| {
-        EngineError::Invalid(format!("expected a path after ${var} in {t:?}"))
-    })?;
+    let rel = rest
+        .strip_prefix('/')
+        .ok_or_else(|| EngineError::Invalid(format!("expected a path after ${var} in {t:?}")))?;
     let parsed = xpath.parse(&format!("/{rel}"))?;
     Ok(Path {
         absolute: false,
@@ -491,7 +491,11 @@ mod tests {
         .unwrap();
         // The folded predicate is plannable against the price index.
         let plan = access::plan(&f.binding, &col, false);
-        assert!(plan.explain().contains("DocID list access"), "{}", plan.explain());
+        assert!(
+            plan.explain().contains("DocID list access"),
+            "{}",
+            plan.explain()
+        );
         let out = execute_flwor(&db, &t, &col, &f).unwrap();
         assert_eq!(out, vec!["<hit>Gadget</hit>", "<hit>Gizmo</hit>"]);
     }

@@ -132,8 +132,21 @@ fn push_product(out: &mut String, spec: &CatalogSpec, i: usize, rng: &mut StdRng
 
 fn push_text(out: &mut String, len: usize, rng: &mut StdRng) {
     const WORDS: &[&str] = &[
-        "durable", "portable", "enterprise", "scalable", "native", "relational", "hierarchical",
-        "indexed", "streaming", "optimal", "packed", "widget", "gadget", "engine", "catalog",
+        "durable",
+        "portable",
+        "enterprise",
+        "scalable",
+        "native",
+        "relational",
+        "hierarchical",
+        "indexed",
+        "streaming",
+        "optimal",
+        "packed",
+        "widget",
+        "gadget",
+        "engine",
+        "catalog",
     ];
     let mut n = 0usize;
     while n < len {
@@ -250,7 +263,9 @@ mod tests {
 
     fn well_formed(doc: &str) {
         let dict = NameDict::new();
-        Parser::new(&dict).parse_to_tokens(doc).expect("well-formed");
+        Parser::new(&dict)
+            .parse_to_tokens(doc)
+            .expect("well-formed");
     }
 
     #[test]
@@ -334,7 +349,7 @@ pub fn auction_doc(items: usize, people: usize, auctions: usize, seed: u64) -> S
         out.push_str(&format!(
             "<item id=\"item{i}\" region=\"{region}\"><name>Item {i}</name><payment>{}</payment>\
              <description><parlist>",
-            ["Cash", "Creditcard", "Wire"][rng.gen_range(0..3)]
+            ["Cash", "Creditcard", "Wire"][rng.gen_range(0..3usize)]
         ));
         for _ in 0..rng.gen_range(1..4) {
             out.push_str("<listitem><text>");

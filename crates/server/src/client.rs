@@ -1,0 +1,183 @@
+//! A blocking client generic over the byte stream, so TCP connections and
+//! the in-process channel transport share one implementation.
+
+use crate::proto::{read_frame, write_frame, ErrorCode, Hit, Request, Response, WireError};
+use crate::stats::StatsSnapshot;
+use rx_engine::{ColValue, Row};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The admission queue was full; retry later.
+    Busy,
+    /// The server is draining; reconnect elsewhere.
+    ShuttingDown,
+    /// This session was reaped after idling past the timeout.
+    SessionExpired,
+    /// Any other server-reported failure.
+    Server(WireError),
+    /// The peer sent bytes we could not decode.
+    Protocol(String),
+    /// The connection died.
+    Io(io::Error),
+    /// The server closed the connection mid-call.
+    Closed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Busy => write!(f, "server busy (admission queue full)"),
+            ClientError::ShuttingDown => write!(f, "server shutting down"),
+            ClientError::SessionExpired => write!(f, "session expired"),
+            ClientError::Server(e) => write!(f, "server error ({:?}): {}", e.code, e.message),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Closed => write!(f, "connection closed by server"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// True for [`ClientError::Busy`] — the caller should back off and
+    /// retry.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, ClientError::Busy)
+    }
+}
+
+fn error_response(err: WireError) -> ClientError {
+    match err.code {
+        ErrorCode::Busy => ClientError::Busy,
+        ErrorCode::ShuttingDown => ClientError::ShuttingDown,
+        ErrorCode::SessionExpired => ClientError::SessionExpired,
+        _ => ClientError::Server(err),
+    }
+}
+
+/// A blocking connection to an rx-server. One outstanding request at a
+/// time; the server pairs each connection with one session, so dropping the
+/// client rolls back any open transaction server-side.
+pub struct Client<S: Read + Write> {
+    stream: S,
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wrap an established byte stream.
+    pub fn new(stream: S) -> Client<S> {
+        Client { stream }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or(ClientError::Closed)?;
+        match Response::decode(&payload).map_err(ClientError::Protocol)? {
+            Response::Error(err) => Err(error_response(err)),
+            resp => Ok(resp),
+        }
+    }
+
+    fn expect_unit(&mut self, req: &Request) -> Result<(), ClientError> {
+        match self.call(req)? {
+            Response::Unit => Ok(()),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Open an explicit transaction on this connection's session.
+    pub fn begin(&mut self) -> Result<(), ClientError> {
+        self.expect_unit(&Request::Begin)
+    }
+
+    /// Commit the open transaction.
+    pub fn commit(&mut self) -> Result<(), ClientError> {
+        self.expect_unit(&Request::Commit)
+    }
+
+    /// Roll back the open transaction.
+    pub fn rollback(&mut self) -> Result<(), ClientError> {
+        self.expect_unit(&Request::Rollback)
+    }
+
+    /// Insert a row; returns its DocID.
+    pub fn insert_row(&mut self, table: &str, values: Vec<ColValue>) -> Result<u64, ClientError> {
+        match self.call(&Request::InsertRow {
+            table: table.to_string(),
+            values,
+        })? {
+            Response::Doc(doc) => Ok(doc),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Fetch a row by DocID (`None` when the id is unknown).
+    pub fn fetch_row(&mut self, table: &str, doc: u64) -> Result<Option<Row>, ClientError> {
+        match self.call(&Request::FetchRow {
+            table: table.to_string(),
+            doc,
+        })? {
+            Response::Row(row) => Ok(row),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Delete a row by DocID; returns whether it existed.
+    pub fn delete_row(&mut self, table: &str, doc: u64) -> Result<bool, ClientError> {
+        match self.call(&Request::DeleteRow {
+            table: table.to_string(),
+            doc,
+        })? {
+            Response::Deleted(ok) => Ok(ok),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Evaluate an XPath over one XML column.
+    pub fn query(
+        &mut self,
+        table: &str,
+        column: &str,
+        path: &str,
+    ) -> Result<Vec<Hit>, ClientError> {
+        match self.call(&Request::Query {
+            table: table.to_string(),
+            column: column.to_string(),
+            path: path.to_string(),
+        })? {
+            Response::Hits(hits) => Ok(hits),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Fetch the server's counter snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(*s),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Diagnostic: hold a worker slot for `millis` (admission-control
+    /// testing).
+    pub fn sleep_ms(&mut self, millis: u32) -> Result<(), ClientError> {
+        self.expect_unit(&Request::Sleep { millis })
+    }
+}

@@ -1,0 +1,29 @@
+//! rx-server: the concurrent service layer for System R/X.
+//!
+//! Fronts an [`rx_engine::Database`] with a session-oriented request/response
+//! protocol (Zhang 2005 §2's "database as a service" deployment shape):
+//!
+//! - **Wire protocol** ([`proto`]): length-prefixed binary frames over any
+//!   `Read + Write` byte stream.
+//! - **Sessions** ([`session`]): one session per connection owning at most
+//!   one open transaction, autocommit otherwise, idle-timeout reaping.
+//! - **Admission control** ([`server`]): a fixed worker pool behind a
+//!   bounded queue; overload answers `Busy` instead of queueing unboundedly.
+//! - **Transports**: a TCP listener and an in-process channel client that
+//!   share the frame codec and connection handler by construction.
+//! - **Stats** ([`stats`]): request counters and per-class log2 latency
+//!   histograms, merged with the engine's [`rx_engine::DbStats`].
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod session;
+pub mod stats;
+
+pub use client::{Client, ClientError};
+pub use proto::{ErrorCode, Hit, Request, Response, WireError};
+pub use server::{connect_tcp, ChannelStream, Server, ServerConfig};
+pub use session::{SessionError, SessionManager};
+pub use stats::{LatencySnapshot, ReqClass, StatsSnapshot};

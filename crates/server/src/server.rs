@@ -1,0 +1,717 @@
+//! The server: a fixed worker pool behind a bounded admission queue,
+//! per-connection handler threads, a TCP listener, an in-process channel
+//! transport, and graceful shutdown.
+//!
+//! Life of a request: a connection handler reads one frame, decodes it, and
+//! submits a job to the admission queue. If the queue is at capacity the
+//! handler answers `Busy` immediately — clients are never parked on an
+//! unbounded backlog. A worker picks the job up, runs it against the
+//! engine, and hands the response back to the handler, which writes it to
+//! the connection. Connections are lockstep (one outstanding request each),
+//! so concurrency equals the number of connections, bounded by the worker
+//! pool.
+//!
+//! Shutdown: new requests and connections are refused, queued work drains,
+//! every connection is force-closed, handler threads exit (closing their
+//! sessions), and any session that still holds a transaction is rolled
+//! back.
+
+use crate::proto::{read_frame, write_frame, ErrorCode, Hit, Request, Response, WireError};
+use crate::session::{SessionError, SessionManager};
+use crate::stats::{ReqClass, ServerCounters, StatsSnapshot};
+use parking_lot::{Condvar, Mutex};
+use rx_engine::{access, Database, EngineError};
+use rx_xpath::XPathParser;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Admission-queue capacity; submissions beyond it get `Busy`.
+    pub queue_depth: usize,
+    /// Sessions idle longer than this are reaped (open txns rolled back).
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// Why a submission was refused.
+enum Refused {
+    Busy,
+    ShuttingDown,
+}
+
+struct Inner {
+    db: Arc<Database>,
+    sessions: SessionManager,
+    counters: ServerCounters,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    queue_depth: usize,
+    shutting_down: AtomicBool,
+    in_flight: AtomicUsize,
+    /// One force-close hook per live connection.
+    closers: Mutex<Vec<Box<dyn Fn() + Send>>>,
+    /// Worker / acceptor / reaper / handler threads, joined on shutdown.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Inner {
+    fn submit(&self, job: Job) -> Result<(), Refused> {
+        let mut q = self.queue.lock();
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Err(Refused::ShuttingDown);
+        }
+        if q.len() >= self.queue_depth {
+            return Err(Refused::Busy);
+        }
+        q.push_back(job);
+        drop(q);
+        self.queue_cv.notify_one();
+        Ok(())
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock();
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    if self.shutting_down.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    self.queue_cv.wait(&mut q);
+                }
+            };
+            self.in_flight.fetch_add(1, Ordering::SeqCst);
+            job();
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// leaves threads running until process exit; call shutdown for a clean
+/// drain.
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Start workers and the session reaper. No listener yet — use
+    /// [`Server::listen`] for TCP and/or [`Server::connect`] for in-process
+    /// clients.
+    pub fn start(db: Arc<Database>, config: ServerConfig) -> Arc<Server> {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.queue_depth >= 1, "need a positive queue depth");
+        let inner = Arc::new(Inner {
+            db,
+            sessions: SessionManager::new(config.idle_timeout),
+            counters: ServerCounters::default(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_depth: config.queue_depth,
+            shutting_down: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            closers: Mutex::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::new();
+        for i in 0..config.workers {
+            let inner2 = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rx-worker-{i}"))
+                    .spawn(move || inner2.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        // Session reaper: poll a few times per idle window.
+        let reap_every =
+            (config.idle_timeout / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
+        {
+            let inner2 = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("rx-reaper".into())
+                    .spawn(move || loop {
+                        std::thread::sleep(reap_every);
+                        if inner2.shutting_down.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let n = inner2.sessions.expire_idle();
+                        if n > 0 {
+                            inner2
+                                .counters
+                                .sessions_expired
+                                .fetch_add(n, Ordering::Relaxed);
+                        }
+                    })
+                    .expect("spawn reaper"),
+            );
+        }
+        inner.handles.lock().extend(handles);
+        Arc::new(Server { inner })
+    }
+
+    /// The database this server fronts.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.inner.db
+    }
+
+    /// Bind a TCP listener and accept connections until shutdown. Returns
+    /// the bound address (use port 0 for an ephemeral port).
+    pub fn listen(&self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::Builder::new()
+            .name("rx-acceptor".into())
+            .spawn(move || loop {
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nodelay(true);
+                        if let Ok(clone) = stream.try_clone() {
+                            inner.closers.lock().push(Box::new(move || {
+                                let _ = clone.shutdown(std::net::Shutdown::Both);
+                            }));
+                        }
+                        let inner2 = Arc::clone(&inner);
+                        let h = std::thread::Builder::new()
+                            .name("rx-conn".into())
+                            .spawn(move || serve_connection(&inner2, stream))
+                            .expect("spawn connection handler");
+                        inner.handles.lock().push(h);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => return,
+                }
+            })?;
+        self.inner.handles.lock().push(handle);
+        Ok(local)
+    }
+
+    /// Open an in-process connection speaking the exact same frame codec as
+    /// TCP, over a pair of byte channels.
+    pub fn connect(&self) -> io::Result<crate::client::Client<ChannelStream>> {
+        if self.inner.shutting_down.load(Ordering::SeqCst) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "server is shutting down",
+            ));
+        }
+        let (c2s_tx, c2s_rx) = mpsc::channel::<Vec<u8>>();
+        let (s2c_tx, s2c_rx) = mpsc::channel::<Vec<u8>>();
+        let closed = Arc::new(AtomicBool::new(false));
+        let server_side = ChannelStream::new(s2c_tx, c2s_rx, Arc::clone(&closed));
+        let client_side = ChannelStream::new(c2s_tx, s2c_rx, Arc::clone(&closed));
+        {
+            let closed = Arc::clone(&closed);
+            self.inner
+                .closers
+                .lock()
+                .push(Box::new(move || closed.store(true, Ordering::SeqCst)));
+        }
+        let inner = Arc::clone(&self.inner);
+        let h = std::thread::Builder::new()
+            .name("rx-conn-inproc".into())
+            .spawn(move || serve_connection(&inner, server_side))?;
+        self.inner.handles.lock().push(h);
+        Ok(crate::client::Client::new(client_side))
+    }
+
+    /// Current counter snapshot (same data the wire `stats` request
+    /// returns).
+    pub fn stats(&self) -> StatsSnapshot {
+        snapshot(&self.inner)
+    }
+
+    /// Graceful shutdown: refuse new work, drain queued and in-flight
+    /// requests, force-close every connection, join all threads, and roll
+    /// back whatever sessions remain. Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.inner.queue_cv.notify_all();
+        // Drain: workers finish everything already admitted.
+        let drain_deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let empty = self.inner.queue.lock().is_empty();
+            if empty && self.inner.in_flight.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            if Instant::now() > drain_deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Unblock connection handlers so they can exit and close sessions.
+        for closer in self.inner.closers.lock().drain(..) {
+            closer();
+        }
+        loop {
+            let handle = self.inner.handles.lock().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        // Anything still open (e.g. sessions whose connection died earlier)
+        // is rolled back so no lock outlives the server.
+        self.inner.sessions.rollback_all();
+    }
+}
+
+fn snapshot(inner: &Inner) -> StatsSnapshot {
+    StatsSnapshot {
+        requests_total: inner.counters.requests_total.load(Ordering::Relaxed),
+        requests_rejected: inner.counters.requests_rejected.load(Ordering::Relaxed),
+        requests_errored: inner.counters.requests_errored.load(Ordering::Relaxed),
+        requests_in_flight: inner.in_flight.load(Ordering::SeqCst) as u64,
+        requests_queued: inner.queue.lock().len() as u64,
+        sessions_opened: inner.counters.sessions_opened.load(Ordering::Relaxed),
+        sessions_expired: inner.counters.sessions_expired.load(Ordering::Relaxed),
+        sessions_active: inner.sessions.active(),
+        latency: std::array::from_fn(|i| inner.counters.latency[i].snapshot()),
+        db: inner.db.stats(),
+    }
+}
+
+fn class_of(req: &Request) -> ReqClass {
+    match req {
+        Request::Begin | Request::Commit | Request::Rollback => ReqClass::Txn,
+        Request::InsertRow { .. } | Request::DeleteRow { .. } => ReqClass::Write,
+        Request::FetchRow { .. } | Request::Query { .. } => ReqClass::Read,
+        Request::Stats | Request::Ping | Request::Sleep { .. } => ReqClass::Admin,
+    }
+}
+
+fn engine_error_response(e: &EngineError) -> Response {
+    use rx_storage::StorageError;
+    let (code, message) = match e {
+        EngineError::NotFound { .. } => (ErrorCode::NotFound, e.to_string()),
+        EngineError::AlreadyExists { .. } => (ErrorCode::AlreadyExists, e.to_string()),
+        EngineError::Invalid(_) => (ErrorCode::Invalid, e.to_string()),
+        EngineError::Storage(StorageError::LockTimeout) => (ErrorCode::LockTimeout, e.to_string()),
+        EngineError::Storage(StorageError::Deadlock) => (ErrorCode::Deadlock, e.to_string()),
+        EngineError::Xml(_) | EngineError::XPath(_) => (ErrorCode::Invalid, e.to_string()),
+        _ => (ErrorCode::Internal, e.to_string()),
+    };
+    Response::Error(WireError { code, message })
+}
+
+fn session_error_response(e: SessionError) -> Response {
+    match e {
+        SessionError::Expired => Response::Error(WireError {
+            code: ErrorCode::SessionExpired,
+            message: "session expired (idle timeout) or closed".into(),
+        }),
+        SessionError::NoTxn => Response::Error(WireError {
+            code: ErrorCode::Invalid,
+            message: "no open transaction on this session".into(),
+        }),
+        SessionError::TxnOpen => Response::Error(WireError {
+            code: ErrorCode::Invalid,
+            message: "a transaction is already open on this session".into(),
+        }),
+        SessionError::Engine(e) => engine_error_response(&e),
+    }
+}
+
+fn handle_request(inner: &Inner, session: u64, req: Request) -> Response {
+    let db = &inner.db;
+    let unit = |r: Result<(), SessionError>| match r {
+        Ok(()) => Response::Unit,
+        Err(e) => session_error_response(e),
+    };
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Sleep { millis } => {
+            std::thread::sleep(Duration::from_millis(u64::from(millis)));
+            Response::Unit
+        }
+        Request::Stats => Response::Stats(Box::new(snapshot(inner))),
+        Request::Begin => unit(inner.sessions.begin(session, db)),
+        Request::Commit => unit(inner.sessions.commit(session)),
+        Request::Rollback => unit(inner.sessions.rollback(session)),
+        Request::InsertRow { table, values } => {
+            match inner.sessions.with_txn(session, db, |txn| {
+                let t = db.table(&table)?;
+                db.insert_row_txn(txn, &t, &values)
+            }) {
+                Ok(doc) => Response::Doc(doc),
+                Err(e) => session_error_response(e),
+            }
+        }
+        Request::FetchRow { table, doc } => {
+            match inner.sessions.with_txn(session, db, |txn| {
+                let t = db.table(&table)?;
+                // §5.1: S-lock the document so the fetch never observes a
+                // partially written row.
+                txn.lock(
+                    &rx_storage::LockName::Table(t.def.id),
+                    rx_storage::LockMode::IS,
+                )?;
+                txn.lock(
+                    &rx_storage::LockName::Document {
+                        table: t.def.id,
+                        doc,
+                    },
+                    rx_storage::LockMode::S,
+                )?;
+                db.fetch_row(&t, doc)
+            }) {
+                Ok(row) => Response::Row(row),
+                Err(e) => session_error_response(e),
+            }
+        }
+        Request::DeleteRow { table, doc } => {
+            match inner.sessions.with_txn(session, db, |txn| {
+                let t = db.table(&table)?;
+                db.delete_row_txn(txn, &t, doc)
+            }) {
+                Ok(ok) => Response::Deleted(ok),
+                Err(e) => session_error_response(e),
+            }
+        }
+        Request::Query {
+            table,
+            column,
+            path,
+        } => {
+            match inner.sessions.with_txn(session, db, |txn| {
+                let t = db.table(&table)?;
+                let col = t.xml_column(&column)?;
+                let p = XPathParser::new().parse(&path)?;
+                let (hits, _stats) = access::run_query_locked(txn, &t, col, db.dict(), &p, false)?;
+                Ok(hits
+                    .into_iter()
+                    .map(|h| Hit {
+                        doc: h.doc,
+                        value: h.value,
+                    })
+                    .collect::<Vec<Hit>>())
+            }) {
+                Ok(hits) => Response::Hits(hits),
+                Err(e) => session_error_response(e),
+            }
+        }
+    }
+}
+
+/// Serve one connection until EOF or shutdown. Generic over the byte
+/// stream so TCP and the in-process channel transport run the exact same
+/// code path.
+fn serve_connection<S: Read + Write>(inner: &Arc<Inner>, mut stream: S) {
+    let session = inner.sessions.open();
+    inner
+        .counters
+        .sessions_opened
+        .fetch_add(1, Ordering::Relaxed);
+    while let Ok(Some(payload)) = read_frame(&mut stream) {
+        let started = Instant::now();
+        inner
+            .counters
+            .requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        let req = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(msg) => {
+                inner
+                    .counters
+                    .requests_errored
+                    .fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error(WireError {
+                    code: ErrorCode::Protocol,
+                    message: msg,
+                });
+                if write_frame(&mut stream, &resp.encode()).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let class = class_of(&req);
+        let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+        let job_inner = Arc::clone(inner);
+        let submit = inner.submit(Box::new(move || {
+            let resp = handle_request(&job_inner, session, req);
+            let _ = reply_tx.send(resp);
+        }));
+        let resp = match submit {
+            Ok(()) => reply_rx.recv().unwrap_or_else(|_| {
+                Response::Error(WireError {
+                    code: ErrorCode::Internal,
+                    message: "worker dropped the request".into(),
+                })
+            }),
+            Err(Refused::Busy) => {
+                inner
+                    .counters
+                    .requests_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Error(WireError {
+                    code: ErrorCode::Busy,
+                    message: "admission queue full".into(),
+                })
+            }
+            Err(Refused::ShuttingDown) => Response::Error(WireError {
+                code: ErrorCode::ShuttingDown,
+                message: "server is shutting down".into(),
+            }),
+        };
+        if matches!(resp, Response::Error(_)) {
+            inner
+                .counters
+                .requests_errored
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        inner.counters.record_latency(class, started.elapsed());
+        if write_frame(&mut stream, &resp.encode()).is_err() {
+            break;
+        }
+    }
+    // EOF, IO error, or forced close: the session (and any open txn) dies
+    // with the connection.
+    inner.sessions.close(session);
+}
+
+/// One side of an in-process connection: `Write` sends whole buffers as
+/// channel messages, `Read` drains them. A shared `closed` flag lets the
+/// server force EOF during shutdown.
+pub struct ChannelStream {
+    tx: mpsc::Sender<Vec<u8>>,
+    rx: mpsc::Receiver<Vec<u8>>,
+    closed: Arc<AtomicBool>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl ChannelStream {
+    fn new(
+        tx: mpsc::Sender<Vec<u8>>,
+        rx: mpsc::Receiver<Vec<u8>>,
+        closed: Arc<AtomicBool>,
+    ) -> ChannelStream {
+        ChannelStream {
+            tx,
+            rx,
+            closed,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl Read for ChannelStream {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.pos < self.buf.len() {
+                let n = out.len().min(self.buf.len() - self.pos);
+                out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+                self.pos += n;
+                return Ok(n);
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                return Ok(0); // forced EOF
+            }
+            match self.rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(chunk) => {
+                    self.buf = chunk;
+                    self.pos = 0;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(0),
+            }
+        }
+    }
+}
+
+impl Write for ChannelStream {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "closed"));
+        }
+        self.tx
+            .send(data.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))?;
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Convenience: connect a TCP client to `addr`.
+pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<crate::client::Client<TcpStream>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    Ok(crate::client::Client::new(stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientError;
+    use rx_engine::{ColValue, ColumnKind};
+
+    fn test_server(workers: usize, queue_depth: usize) -> Arc<Server> {
+        let db = Database::create_in_memory().unwrap();
+        db.create_table(
+            "items",
+            &[("sku", ColumnKind::Str), ("doc", ColumnKind::Xml)],
+        )
+        .unwrap();
+        Server::start(
+            db,
+            ServerConfig {
+                workers,
+                queue_depth,
+                idle_timeout: Duration::from_secs(30),
+            },
+        )
+    }
+
+    fn row(sku: &str, xml: &str) -> Vec<ColValue> {
+        vec![ColValue::Str(sku.into()), ColValue::Xml(xml.into())]
+    }
+
+    #[test]
+    fn inproc_autocommit_roundtrip() {
+        let server = test_server(2, 16);
+        let mut c = server.connect().unwrap();
+        c.ping().unwrap();
+        let doc = c
+            .insert_row("items", row("widget", "<item><price>5</price></item>"))
+            .unwrap();
+        let fetched = c.fetch_row("items", doc).unwrap().unwrap();
+        assert_eq!(fetched.values[0], "widget");
+        let hits = c.query("items", "doc", "/item/price").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, doc);
+        assert_eq!(hits[0].value, "5");
+        assert!(c.delete_row("items", doc).unwrap());
+        assert!(c.fetch_row("items", doc).unwrap().is_none());
+        let stats = c.stats().unwrap();
+        assert!(stats.requests_total >= 6);
+        assert_eq!(stats.sessions_active, 1);
+        assert!(stats.latency[ReqClass::Read as usize].count >= 3);
+        assert!(stats.db.wal_records > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn inproc_explicit_txn_rollback_discards_insert() {
+        let server = test_server(2, 16);
+        let mut c = server.connect().unwrap();
+        c.begin().unwrap();
+        let doc = c.insert_row("items", row("a", "<r/>")).unwrap();
+        c.rollback().unwrap();
+        assert!(c.fetch_row("items", doc).unwrap().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_table_maps_to_not_found() {
+        let server = test_server(1, 16);
+        let mut c = server.connect().unwrap();
+        let err = c.fetch_row("nope", 1).unwrap_err();
+        assert!(
+            matches!(&err, ClientError::Server(e) if e.code == ErrorCode::NotFound),
+            "{err}"
+        );
+        server.shutdown();
+    }
+
+    fn wait_for(server: &Server, pred: impl Fn(&StatsSnapshot) -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if pred(&server.stats()) {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "server never reached expected state"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn full_queue_answers_busy() {
+        let server = test_server(1, 1);
+        // One request occupies the single worker, one fills the queue; a
+        // third must be refused without blocking.
+        let mut slow1 = server.connect().unwrap();
+        let t1 = std::thread::spawn(move || slow1.sleep_ms(400));
+        wait_for(&server, |s| s.requests_in_flight == 1);
+        let mut slow2 = server.connect().unwrap();
+        let t2 = std::thread::spawn(move || slow2.sleep_ms(400));
+        wait_for(&server, |s| s.requests_queued == 1);
+        let mut probe = server.connect().unwrap();
+        let started = Instant::now();
+        let err = probe.sleep_ms(1).unwrap_err();
+        assert!(err.is_busy(), "{err}");
+        assert!(
+            started.elapsed() < Duration::from_millis(300),
+            "Busy must not block"
+        );
+        t1.join().unwrap().unwrap();
+        t2.join().unwrap().unwrap();
+        assert!(server.stats().requests_rejected >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rolls_back_open_sessions() {
+        let server = test_server(2, 16);
+        let mut c = server.connect().unwrap();
+        c.begin().unwrap();
+        c.insert_row("items", row("orphan", "<r/>")).unwrap();
+        assert_eq!(server.db().txns().active_count(), 1);
+        server.shutdown();
+        assert_eq!(server.db().txns().active_count(), 0);
+        assert!(matches!(
+            c.ping().unwrap_err(),
+            ClientError::Closed | ClientError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_refuses_new_connections() {
+        let server = test_server(1, 4);
+        server.shutdown();
+        server.shutdown();
+        assert!(server.connect().is_err());
+    }
+}

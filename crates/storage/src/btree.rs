@@ -199,9 +199,9 @@ impl BTree {
         let g = self.space.fetch(page_no)?;
         let p = g.read();
         let t = p.page_type();
-        let rec = p
-            .get(0)
-            .ok_or_else(|| StorageError::Index(format!("B+tree page {page_no} has no node record")))?;
+        let rec = p.get(0).ok_or_else(|| {
+            StorageError::Index(format!("B+tree page {page_no} has no node record"))
+        })?;
         Ok((t, rec.to_vec()))
     }
 
@@ -467,7 +467,11 @@ impl BTree {
     }
 
     /// Scan every entry whose key starts with `prefix`.
-    pub fn scan_prefix(&self, prefix: &[u8], mut take: impl FnMut(&[u8], u64) -> bool) -> Result<()> {
+    pub fn scan_prefix(
+        &self,
+        prefix: &[u8],
+        mut take: impl FnMut(&[u8], u64) -> bool,
+    ) -> Result<()> {
         self.scan_from(prefix, |k, v| {
             if !k.starts_with(prefix) && k > prefix {
                 return false;

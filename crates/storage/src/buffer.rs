@@ -90,10 +90,17 @@ pub struct BufferPool {
     pub stats: BufferStats,
 }
 
+/// Smallest legal pool: the clock sweep needs headroom to find an
+/// unpinned victim while a handful of pages are pinned.
+pub const MIN_BUFFER_PAGES: usize = 8;
+
 impl BufferPool {
     /// Create a pool with room for `capacity` pages.
     pub fn new(capacity: usize) -> Arc<Self> {
-        assert!(capacity >= 8, "buffer pool needs at least 8 frames");
+        assert!(
+            capacity >= MIN_BUFFER_PAGES,
+            "buffer pool needs at least {MIN_BUFFER_PAGES} frames"
+        );
         Arc::new(BufferPool {
             capacity,
             inner: Mutex::new(PoolInner {

@@ -48,7 +48,9 @@ impl fmt::Display for StorageError {
             StorageError::RecordTooLarge { size, max } => {
                 write!(f, "record of {size} bytes exceeds page capacity of {max}")
             }
-            StorageError::BufferPoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            StorageError::BufferPoolExhausted => {
+                write!(f, "buffer pool exhausted (all frames pinned)")
+            }
             StorageError::Corrupt(m) => write!(f, "page corruption: {m}"),
             StorageError::LockTimeout => write!(f, "lock wait timed out"),
             StorageError::Deadlock => write!(f, "deadlock detected; transaction chosen as victim"),

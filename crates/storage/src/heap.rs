@@ -157,11 +157,12 @@ impl HeapTable {
     pub fn delete(&self, rid: Rid) -> Result<()> {
         let g = self.space.fetch(rid.page)?;
         let mut p = g.write();
-        p.delete(rid.slot).map_err(|_| StorageError::RecordNotFound {
-            space: self.space.id(),
-            page: rid.page,
-            slot: rid.slot,
-        })
+        p.delete(rid.slot)
+            .map_err(|_| StorageError::RecordNotFound {
+                space: self.space.id(),
+                page: rid.page,
+                slot: rid.slot,
+            })
     }
 
     /// Full scan in page-chain order. The visitor returns `true` to continue.
@@ -259,7 +260,10 @@ mod tests {
         let r = h.insert(b"record one").unwrap();
         assert_eq!(h.fetch(r).unwrap(), b"record one");
         h.delete(r).unwrap();
-        assert!(matches!(h.fetch(r), Err(StorageError::RecordNotFound { .. })));
+        assert!(matches!(
+            h.fetch(r),
+            Err(StorageError::RecordNotFound { .. })
+        ));
     }
 
     #[test]

@@ -16,8 +16,34 @@ use crate::error::{Result, StorageError};
 use crate::wal::TxnId;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Contention counters, updated on the lock slow path. Exposed through
+/// `Database::stats()` and the rx-server stats surface.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    /// Requests that had to block at least once before being granted
+    /// (or failing).
+    pub waits: AtomicU64,
+    /// Requests that failed with [`StorageError::LockTimeout`].
+    pub timeouts: AtomicU64,
+    /// Requests refused with [`StorageError::Deadlock`] as the victim of a
+    /// waits-for cycle.
+    pub deadlocks: AtomicU64,
+}
+
+impl LockStats {
+    /// Read `(waits, timeouts, deadlocks)` at once.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.waits.load(Ordering::Relaxed),
+            self.timeouts.load(Ordering::Relaxed),
+            self.deadlocks.load(Ordering::Relaxed),
+        )
+    }
+}
 
 /// Classical multiple-granularity lock modes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -166,7 +192,13 @@ struct LmInner {
 }
 
 impl LmInner {
-    fn blockers(&self, key: &GroupKey, node: &Option<Vec<u8>>, mode: LockMode, txn: TxnId) -> Vec<TxnId> {
+    fn blockers(
+        &self,
+        key: &GroupKey,
+        node: &Option<Vec<u8>>,
+        mode: LockMode,
+        txn: TxnId,
+    ) -> Vec<TxnId> {
         let Some(grants) = self.groups.get(key) else {
             return Vec::new();
         };
@@ -200,10 +232,7 @@ impl LmInner {
     fn grant(&mut self, txn: TxnId, key: GroupKey, node: Option<Vec<u8>>, mode: LockMode) {
         let grants = self.groups.entry(key.clone()).or_default();
         // Same txn, same resource: upgrade or re-entrant count.
-        if let Some(g) = grants
-            .iter_mut()
-            .find(|g| g.txn == txn && g.node == node)
-        {
+        if let Some(g) = grants.iter_mut().find(|g| g.txn == txn && g.node == node) {
             if g.mode.covers(mode) {
                 g.count += 1;
             } else {
@@ -227,6 +256,8 @@ pub struct LockManager {
     inner: Mutex<LmInner>,
     cond: Condvar,
     timeout: Duration,
+    /// Contention counters (waits / timeouts / deadlocks).
+    pub stats: LockStats,
 }
 
 impl LockManager {
@@ -236,6 +267,7 @@ impl LockManager {
             inner: Mutex::new(LmInner::default()),
             cond: Condvar::new(),
             timeout,
+            stats: LockStats::default(),
         })
     }
 
@@ -267,15 +299,15 @@ impl LockManager {
                 return Ok(());
             }
             if inner.creates_cycle(txn, &blockers) {
+                self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
                 return Err(StorageError::Deadlock);
             }
+            self.stats.waits.fetch_add(1, Ordering::Relaxed);
             inner.waits_for.insert(txn, blockers);
-            let timed_out = self
-                .cond
-                .wait_until(&mut inner, deadline)
-                .timed_out();
+            let timed_out = self.cond.wait_until(&mut inner, deadline).timed_out();
             inner.waits_for.remove(&txn);
             if timed_out {
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
                 return Err(StorageError::LockTimeout);
             }
         }
@@ -484,10 +516,7 @@ mod tests {
         let lm = LockManager::new(Duration::from_millis(50));
         let d = LockName::Document { table: 1, doc: 3 };
         lm.lock(1, &d, X).unwrap();
-        assert!(matches!(
-            lm.lock(2, &d, S),
-            Err(StorageError::LockTimeout)
-        ));
+        assert!(matches!(lm.lock(2, &d, S), Err(StorageError::LockTimeout)));
     }
 
     #[test]
@@ -495,7 +524,8 @@ mod tests {
         let lm = lm();
         // Writer: IX on table, X on one document.
         lm.lock(1, &LockName::Table(1), IX).unwrap();
-        lm.lock(1, &LockName::Document { table: 1, doc: 1 }, X).unwrap();
+        lm.lock(1, &LockName::Document { table: 1, doc: 1 }, X)
+            .unwrap();
         // Reader of a different document: IS on table, S on doc 2 — fine.
         lm.lock(2, &LockName::Table(1), IS).unwrap();
         assert!(lm

@@ -42,7 +42,9 @@ impl TableSpace {
             space,
             alloc: Mutex::new(()),
         });
-        let hdr = ts.pool.fetch_new(PageId::new(space, 0), PageType::SpaceHeader)?;
+        let hdr = ts
+            .pool
+            .fetch_new(PageId::new(space, 0), PageType::SpaceHeader)?;
         {
             let mut p = hdr.write();
             let b = p.bytes_mut();
@@ -94,7 +96,9 @@ impl TableSpace {
     fn read_hdr_u32(&self, off: usize) -> Result<u32> {
         let hdr = self.header()?;
         let p = hdr.read();
-        Ok(u32::from_le_bytes(p.bytes()[off..off + 4].try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            p.bytes()[off..off + 4].try_into().unwrap(),
+        ))
     }
 
     fn write_hdr_u32(&self, off: usize, v: u32) -> Result<()> {

@@ -34,7 +34,11 @@ impl UndoCtx<'_> {
 
     /// Append a compensation record (must carry this transaction's id).
     pub fn log(&self, rec: &LogRecord) -> Result<Lsn> {
-        debug_assert_eq!(rec.txn(), Some(self.txn), "compensation must carry the txn id");
+        debug_assert_eq!(
+            rec.txn(),
+            Some(self.txn),
+            "compensation must carry the txn id"
+        );
         self.wal.log(rec)
     }
 }
@@ -81,9 +85,7 @@ impl TxnManager {
     pub fn begin(self: &Arc<Self>) -> Result<Txn> {
         let id = self.next.fetch_add(1, Ordering::AcqRel);
         self.wal.log(&LogRecord::Begin { txn: id })?;
-        self.active
-            .lock()
-            .insert(id, TxnState { undo: Vec::new() });
+        self.active.lock().insert(id, TxnState { undo: Vec::new() });
         Ok(Txn {
             id,
             mgr: Arc::clone(self),

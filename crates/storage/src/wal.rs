@@ -116,14 +116,25 @@ impl LogRecord {
                 out.push(3);
                 out.extend_from_slice(&txn.to_le_bytes());
             }
-            LogRecord::HeapInsert { txn, space, rid, data } => {
+            LogRecord::HeapInsert {
+                txn,
+                space,
+                rid,
+                data,
+            } => {
                 out.push(4);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&space.to_le_bytes());
                 put_rid(out, *rid);
                 put_bytes(out, data);
             }
-            LogRecord::HeapUpdate { txn, space, rid, before, after } => {
+            LogRecord::HeapUpdate {
+                txn,
+                space,
+                rid,
+                before,
+                after,
+            } => {
                 out.push(5);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&space.to_le_bytes());
@@ -131,14 +142,26 @@ impl LogRecord {
                 put_bytes(out, before);
                 put_bytes(out, after);
             }
-            LogRecord::HeapDelete { txn, space, rid, before } => {
+            LogRecord::HeapDelete {
+                txn,
+                space,
+                rid,
+                before,
+            } => {
                 out.push(6);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&space.to_le_bytes());
                 put_rid(out, *rid);
                 put_bytes(out, before);
             }
-            LogRecord::IndexInsert { txn, space, anchor, key, value, prev } => {
+            LogRecord::IndexInsert {
+                txn,
+                space,
+                anchor,
+                key,
+                value,
+                prev,
+            } => {
                 out.push(7);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&space.to_le_bytes());
@@ -153,7 +176,13 @@ impl LogRecord {
                     None => out.push(0),
                 }
             }
-            LogRecord::IndexDelete { txn, space, anchor, key, value } => {
+            LogRecord::IndexDelete {
+                txn,
+                space,
+                anchor,
+                key,
+                value,
+            } => {
                 out.push(8);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&space.to_le_bytes());
@@ -409,6 +438,11 @@ impl Wal {
         self.state.lock().bytes_written
     }
 
+    /// Total log records appended so far.
+    pub fn records_written(&self) -> u64 {
+        self.state.lock().next_lsn - 1
+    }
+
     /// Decode the whole log.
     pub fn read_records(&self) -> Result<Vec<LogRecord>> {
         let buf = self.store.read_all()?;
@@ -528,13 +562,17 @@ pub fn recover(wal: &Wal, env: &RecoveryEnv) -> Result<RecoveryReport> {
     // correct for them too.
     for r in recs {
         match r {
-            LogRecord::HeapInsert { space, rid, data, .. } => {
+            LogRecord::HeapInsert {
+                space, rid, data, ..
+            } => {
                 if let Some(h) = env.heaps.get(space) {
                     h.insert_at(*rid, data)?;
                     report.redone += 1;
                 }
             }
-            LogRecord::HeapUpdate { space, rid, after, .. } => {
+            LogRecord::HeapUpdate {
+                space, rid, after, ..
+            } => {
                 if let Some(h) = env.heaps.get(space) {
                     h.insert_at(*rid, after)?;
                     report.redone += 1;
@@ -546,13 +584,21 @@ pub fn recover(wal: &Wal, env: &RecoveryEnv) -> Result<RecoveryReport> {
                     report.redone += 1;
                 }
             }
-            LogRecord::IndexInsert { space, anchor, key, value, .. } => {
+            LogRecord::IndexInsert {
+                space,
+                anchor,
+                key,
+                value,
+                ..
+            } => {
                 if let Some(t) = env.indexes.get(&(*space, *anchor)) {
                     t.insert(key, *value)?;
                     report.redone += 1;
                 }
             }
-            LogRecord::IndexDelete { space, anchor, key, .. } => {
+            LogRecord::IndexDelete {
+                space, anchor, key, ..
+            } => {
                 if let Some(t) = env.indexes.get(&(*space, *anchor)) {
                     let _ = t.delete(key)?;
                     report.redone += 1;
@@ -581,19 +627,29 @@ pub fn recover(wal: &Wal, env: &RecoveryEnv) -> Result<RecoveryReport> {
                     report.undone += 1;
                 }
             }
-            LogRecord::HeapUpdate { space, rid, before, .. } => {
+            LogRecord::HeapUpdate {
+                space, rid, before, ..
+            } => {
                 if let Some(h) = env.heaps.get(space) {
                     h.insert_at(*rid, before)?;
                     report.undone += 1;
                 }
             }
-            LogRecord::HeapDelete { space, rid, before, .. } => {
+            LogRecord::HeapDelete {
+                space, rid, before, ..
+            } => {
                 if let Some(h) = env.heaps.get(space) {
                     h.insert_at(*rid, before)?;
                     report.undone += 1;
                 }
             }
-            LogRecord::IndexInsert { space, anchor, key, prev, .. } => {
+            LogRecord::IndexInsert {
+                space,
+                anchor,
+                key,
+                prev,
+                ..
+            } => {
                 if let Some(t) = env.indexes.get(&(*space, *anchor)) {
                     match prev {
                         Some(p) => {
@@ -606,7 +662,13 @@ pub fn recover(wal: &Wal, env: &RecoveryEnv) -> Result<RecoveryReport> {
                     report.undone += 1;
                 }
             }
-            LogRecord::IndexDelete { space, anchor, key, value, .. } => {
+            LogRecord::IndexDelete {
+                space,
+                anchor,
+                key,
+                value,
+                ..
+            } => {
                 if let Some(t) = env.indexes.get(&(*space, *anchor)) {
                     t.insert(key, *value)?;
                     report.undone += 1;

@@ -19,14 +19,12 @@ use crate::value::TypeAnn;
 pub const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
 
 /// Parser configuration.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct ParseOptions {
     /// Keep whitespace-only text nodes between elements. Data-centric
     /// documents (the paper's domain) usually drop them.
     pub preserve_whitespace: bool,
 }
-
 
 /// A streaming, non-validating XML parser bound to a name dictionary.
 ///
@@ -142,7 +140,10 @@ impl<'d> Parser<'d> {
         if st.open.is_empty() {
             // Character data outside the root must be whitespace.
             if !raw.trim().is_empty() {
-                return Err(XmlError::parse(start, "character data outside root element"));
+                return Err(XmlError::parse(
+                    start,
+                    "character data outside root element",
+                ));
             }
             return Ok(());
         }
@@ -158,7 +159,10 @@ impl<'d> Parser<'d> {
             })
         } else {
             if raw.contains("]]>") {
-                return Err(XmlError::parse(start, "']]>' not allowed in character data"));
+                return Err(XmlError::parse(
+                    start,
+                    "']]>' not allowed in character data",
+                ));
             }
             sink.event(Event::Text {
                 value: raw,
@@ -172,12 +176,11 @@ impl<'d> Parser<'d> {
         let start = st.pos;
         st.pos += 2;
         let target = scan_name(st)?;
-        
+
         if target.eq_ignore_ascii_case("xml") {
             // XML declaration: skip to '?>'.
-            let end = find(st, b"?>").ok_or_else(|| {
-                XmlError::parse(start, "unterminated XML declaration")
-            })?;
+            let end = find(st, b"?>")
+                .ok_or_else(|| XmlError::parse(start, "unterminated XML declaration"))?;
             st.pos = end + 2;
             return Ok(());
         }
@@ -198,8 +201,8 @@ impl<'d> Parser<'d> {
         let start = st.pos;
         if st.input[st.pos..].starts_with(b"<!--") {
             st.pos += 4;
-            let end = find(st, b"-->")
-                .ok_or_else(|| XmlError::parse(start, "unterminated comment"))?;
+            let end =
+                find(st, b"-->").ok_or_else(|| XmlError::parse(start, "unterminated comment"))?;
             let body = &st.text[st.pos..end];
             if body.contains("--") {
                 return Err(XmlError::parse(start, "'--' not allowed inside comment"));
@@ -260,7 +263,10 @@ impl<'d> Parser<'d> {
                 ))
             }
             None => {
-                return Err(XmlError::parse(start, format!("unexpected end tag </{name}>")))
+                return Err(XmlError::parse(
+                    start,
+                    format!("unexpected end tag </{name}>"),
+                ))
             }
         }
         // Pop this element's namespace bindings.
@@ -353,8 +359,7 @@ impl<'d> Parser<'d> {
         }
 
         // Resolve, order-normalize and emit the ordinary attributes.
-        let mut attrs: Vec<(crate::name::QNameId, String)> =
-            Vec::with_capacity(raw_attrs.len());
+        let mut attrs: Vec<(crate::name::QNameId, String)> = Vec::with_capacity(raw_attrs.len());
         for (aname, value) in raw_attrs {
             if aname == "xmlns" || aname.starts_with("xmlns:") {
                 continue;
@@ -446,7 +451,10 @@ fn scan_attr_value(st: &mut ParseState<'_>) -> Result<String> {
     let start = st.pos;
     while st.pos < st.input.len() && st.input[st.pos] != quote {
         if st.input[st.pos] == b'<' {
-            return Err(XmlError::parse(st.pos, "'<' not allowed in attribute value"));
+            return Err(XmlError::parse(
+                st.pos,
+                "'<' not allowed in attribute value",
+            ));
         }
         st.pos += 1;
     }
@@ -585,9 +593,7 @@ mod tests {
         let evs = events(r#"<a x="1"><b>hi</b></a>"#).unwrap();
         assert_eq!(
             evs,
-            vec![
-                "startdoc", "elem :a", "attr x=1", "elem :b", "text hi", "end", "end", "enddoc"
-            ]
+            vec!["startdoc", "elem :a", "attr x=1", "elem :b", "text hi", "end", "end", "enddoc"]
         );
     }
 
@@ -609,10 +615,8 @@ mod tests {
 
     #[test]
     fn namespaces_resolved() {
-        let evs = events(
-            r#"<c:cat xmlns:c="urn:c" xmlns="urn:d"><item c:id="7"/></c:cat>"#,
-        )
-        .unwrap();
+        let evs =
+            events(r#"<c:cat xmlns:c="urn:c" xmlns="urn:d"><item c:id="7"/></c:cat>"#).unwrap();
         assert!(evs.contains(&"elem urn:c:cat".to_string()));
         assert!(evs.contains(&"elem urn:d:item".to_string()));
         assert!(evs.contains(&"ns c=urn:c".to_string()));
@@ -683,14 +687,16 @@ mod tests {
 
     #[test]
     fn nested_namespace_scoping() {
-        let evs = events(
-            r#"<a xmlns="urn:1"><b xmlns="urn:2"><c/></b><d/></a>"#,
-        )
-        .unwrap();
+        let evs = events(r#"<a xmlns="urn:1"><b xmlns="urn:2"><c/></b><d/></a>"#).unwrap();
         let elems: Vec<&String> = evs.iter().filter(|e| e.starts_with("elem")).collect();
         assert_eq!(
             elems,
-            vec!["elem urn:1:a", "elem urn:2:b", "elem urn:2:c", "elem urn:1:d"]
+            vec![
+                "elem urn:1:a",
+                "elem urn:2:b",
+                "elem urn:2:c",
+                "elem urn:1:d"
+            ]
         );
     }
 }

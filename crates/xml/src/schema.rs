@@ -280,8 +280,7 @@ pub fn parse_xsd(input: &str) -> Result<SchemaDoc> {
                 }
                 if m > 64 {
                     return Err(XmlError::Schema {
-                        message: "maxOccurs larger than 64 is not supported (use unbounded)"
-                            .into(),
+                        message: "maxOccurs larger than 64 is not supported (use unbounded)".into(),
                     });
                 }
             }
@@ -390,7 +389,9 @@ pub fn parse_xsd(input: &str) -> Result<SchemaDoc> {
                             let local = base.rsplit(':').next().unwrap_or(&base);
                             let st =
                                 SimpleType::from_xsd(local).ok_or_else(|| XmlError::Schema {
-                                    message: format!("simpleContent base {base:?} must be built-in"),
+                                    message: format!(
+                                        "simpleContent base {base:?} must be built-in"
+                                    ),
                                 })?;
                             content = Content::Simple(st);
                             self.parse_attrs(e, &mut attrs)?;
@@ -720,7 +721,11 @@ pub fn compile(doc: &SchemaDoc) -> Result<Vec<u8>> {
                 out.push(2);
                 // Child element type map.
                 let mut children: BTreeMap<SymId, TypeRef> = BTreeMap::new();
-                fn child_types(p: &Particle, syms: &HashMap<String, SymId>, out: &mut BTreeMap<SymId, TypeRef>) {
+                fn child_types(
+                    p: &Particle,
+                    syms: &HashMap<String, SymId>,
+                    out: &mut BTreeMap<SymId, TypeRef>,
+                ) {
                     match &p.term {
                         Term::Element { name, ty } => {
                             out.insert(syms[name.as_str()], *ty);
@@ -895,14 +900,8 @@ impl SchemaProgram {
 // ---------------------------------------------------------------------------
 
 enum Frame {
-    Simple {
-        ty: SimpleType,
-        text: String,
-    },
-    Model {
-        type_idx: usize,
-        state: u32,
-    },
+    Simple { ty: SimpleType, text: String },
+    Model { type_idx: usize, state: u32 },
     Empty,
 }
 
@@ -1010,18 +1009,14 @@ impl EventSink for ValidatorVm<'_, '_> {
     fn event(&mut self, ev: Event<'_>) -> Result<()> {
         match ev {
             Event::StartDocument => self.out.event(ev),
-            Event::EndDocument => {
-                self.out.event(ev)
-            }
+            Event::EndDocument => self.out.event(ev),
             Event::StartElement { name } => {
                 self.close_attrs()?;
-                let sym = self.resolve_sym(name).ok_or_else(|| {
-                    XmlError::Validation {
-                        message: format!(
-                            "element {:?} is not declared in the schema",
-                            self.dict.local_of(name)
-                        ),
-                    }
+                let sym = self.resolve_sym(name).ok_or_else(|| XmlError::Validation {
+                    message: format!(
+                        "element {:?} is not declared in the schema",
+                        self.dict.local_of(name)
+                    ),
                 })?;
                 let ty = if self.stack.is_empty() {
                     // Root element: must be a global.
@@ -1131,8 +1126,7 @@ impl EventSink for ValidatorVm<'_, '_> {
                             .expect("model frames have a DFA");
                         if !dfa.accepts(state) {
                             return Err(XmlError::Validation {
-                                message: "element ended before its content model completed"
-                                    .into(),
+                                message: "element ended before its content model completed".into(),
                             });
                         }
                     }
@@ -1326,7 +1320,10 @@ mod tests {
         let dict = NameDict::new();
         assert!(validate_to_tokens("<r><a/></r>", &p, &dict).is_ok());
         assert!(validate_to_tokens("<r><b/><a/><b/><tail/></r>", &p, &dict).is_ok());
-        assert!(validate_to_tokens("<r></r>", &p, &dict).is_err(), "needs 1+");
+        assert!(
+            validate_to_tokens("<r></r>", &p, &dict).is_err(),
+            "needs 1+"
+        );
         assert!(
             validate_to_tokens("<r><a/><a/><a/><a/></r>", &p, &dict).is_err(),
             "max 3"
@@ -1353,9 +1350,7 @@ mod tests {
         let dict = NameDict::new();
         assert!(validate_to_tokens(r#"<price currency="USD">19.99</price>"#, &p, &dict).is_ok());
         assert!(validate_to_tokens(r#"<price>19.99</price>"#, &p, &dict).is_err());
-        assert!(
-            validate_to_tokens(r#"<price currency="USD">free</price>"#, &p, &dict).is_err()
-        );
+        assert!(validate_to_tokens(r#"<price currency="USD">free</price>"#, &p, &dict).is_err());
     }
 
     #[test]
@@ -1387,7 +1382,8 @@ mod tests {
         let doc = parse_xsd(xsd).unwrap();
         let p = SchemaProgram::load(&compile(&doc).unwrap()).unwrap();
         let dict = NameDict::new();
-        let nested = "<part><name>a</name><part><name>b</name></part><part><name>c</name></part></part>";
+        let nested =
+            "<part><name>a</name><part><name>b</name></part><part><name>c</name></part></part>";
         assert!(validate_to_tokens(nested, &p, &dict).is_ok());
     }
 }
@@ -1402,33 +1398,43 @@ mod more_tests {
 
     #[test]
     fn fully_optional_model_accepts_empty() {
-        let p = load(r#"
+        let p = load(
+            r#"
 <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
   <xs:element name="r"><xs:complexType><xs:sequence>
     <xs:element name="a" type="xs:string" minOccurs="0"/>
     <xs:element name="b" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
   </xs:sequence></xs:complexType></xs:element>
-</xs:schema>"#);
+</xs:schema>"#,
+        );
         let dict = NameDict::new();
         assert!(validate_to_tokens("<r/>", &p, &dict).is_ok());
         assert!(validate_to_tokens("<r><b/><b/><b/></r>", &p, &dict).is_ok());
         assert!(validate_to_tokens("<r><a/><b/></r>", &p, &dict).is_ok());
-        assert!(validate_to_tokens("<r><b/><a/></r>", &p, &dict).is_err(), "order");
+        assert!(
+            validate_to_tokens("<r><b/><a/></r>", &p, &dict).is_err(),
+            "order"
+        );
     }
 
     #[test]
     fn attribute_only_type() {
-        let p = load(r#"
+        let p = load(
+            r#"
 <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
   <xs:element name="flag"><xs:complexType>
     <xs:attribute name="on" type="xs:boolean" use="required"/>
     <xs:attribute name="level" type="xs:integer"/>
   </xs:complexType></xs:element>
-</xs:schema>"#);
+</xs:schema>"#,
+        );
         let dict = NameDict::new();
         assert!(validate_to_tokens(r#"<flag on="true"/>"#, &p, &dict).is_ok());
         assert!(validate_to_tokens(r#"<flag on="1" level="3"/>"#, &p, &dict).is_ok());
-        assert!(validate_to_tokens("<flag/>", &p, &dict).is_err(), "missing required");
+        assert!(
+            validate_to_tokens("<flag/>", &p, &dict).is_err(),
+            "missing required"
+        );
         assert!(
             validate_to_tokens(r#"<flag on="maybe"/>"#, &p, &dict).is_err(),
             "bad boolean"
@@ -1442,7 +1448,8 @@ mod more_tests {
     #[test]
     fn nested_groups() {
         // (a, (b | c)+, d?)
-        let p = load(r#"
+        let p = load(
+            r#"
 <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
   <xs:element name="r"><xs:complexType><xs:sequence>
     <xs:element name="a" type="xs:string"/>
@@ -1452,12 +1459,19 @@ mod more_tests {
     </xs:choice>
     <xs:element name="d" type="xs:string" minOccurs="0"/>
   </xs:sequence></xs:complexType></xs:element>
-</xs:schema>"#);
+</xs:schema>"#,
+        );
         let dict = NameDict::new();
         assert!(validate_to_tokens("<r><a/><b/></r>", &p, &dict).is_ok());
         assert!(validate_to_tokens("<r><a/><c/><b/><c/><d/></r>", &p, &dict).is_ok());
-        assert!(validate_to_tokens("<r><a/><d/></r>", &p, &dict).is_err(), "choice needs 1+");
-        assert!(validate_to_tokens("<r><b/></r>", &p, &dict).is_err(), "a required");
+        assert!(
+            validate_to_tokens("<r><a/><d/></r>", &p, &dict).is_err(),
+            "choice needs 1+"
+        );
+        assert!(
+            validate_to_tokens("<r><b/></r>", &p, &dict).is_err(),
+            "a required"
+        );
     }
 
     #[test]

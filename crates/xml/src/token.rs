@@ -231,9 +231,7 @@ impl TokenStream {
                     let uri = get_varint(buf, &mut pos)? as StrId;
                     Event::NamespaceDecl { prefix, uri }
                 }
-                other => {
-                    return Err(XmlError::stream(format!("unknown token tag {other}")))
-                }
+                other => return Err(XmlError::stream(format!("unknown token tag {other}"))),
             };
             sink.event(ev)?;
         }
@@ -264,7 +262,11 @@ mod tests {
         })
         .unwrap();
         w.event(Event::Comment { value: "c" }).unwrap();
-        w.event(Event::Pi { target: 9, data: "d" }).unwrap();
+        w.event(Event::Pi {
+            target: 9,
+            data: "d",
+        })
+        .unwrap();
         w.event(Event::EndElement).unwrap();
         w.event(Event::EndDocument).unwrap();
         let stream = w.finish();

@@ -48,7 +48,9 @@ impl TypeAnn {
             5 => TypeAnn::Date,
             6 => TypeAnn::Integer,
             other => {
-                return Err(XmlError::stream(format!("bad type annotation byte {other}")))
+                return Err(XmlError::stream(format!(
+                    "bad type annotation byte {other}"
+                )))
             }
         })
     }
@@ -243,8 +245,20 @@ impl Decimal {
     pub fn compare(&self, other: &Decimal) -> Ordering {
         match (self.is_zero(), other.is_zero()) {
             (true, true) => return Ordering::Equal,
-            (true, false) => return if other.neg { Ordering::Greater } else { Ordering::Less },
-            (false, true) => return if self.neg { Ordering::Less } else { Ordering::Greater },
+            (true, false) => {
+                return if other.neg {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (false, true) => {
+                return if self.neg {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
             _ => {}
         }
         match (self.neg, other.neg) {
@@ -583,8 +597,8 @@ mod tests {
     #[test]
     fn decimal_sort_key_preserves_order() {
         let values = [
-            "-1e10", "-123.5", "-123.456", "-1", "-0.5", "-0.001", "0", "0.0005", "0.001",
-            "0.25", "0.5", "1", "1.5", "2", "9.999", "10", "123.456", "123.5", "1e10",
+            "-1e10", "-123.5", "-123.456", "-1", "-0.5", "-0.001", "0", "0.0005", "0.001", "0.25",
+            "0.5", "1", "1.5", "2", "9.999", "10", "123.456", "123.5", "1e10",
         ];
         let decs: Vec<Decimal> = values.iter().map(|s| Decimal::parse(s).unwrap()).collect();
         for i in 0..decs.len() {

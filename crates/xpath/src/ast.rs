@@ -145,7 +145,10 @@ pub enum Operand {
 impl fmt::Display for NodeTest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NodeTest::Name { uri: Some(u), local } if !u.is_empty() => {
+            NodeTest::Name {
+                uri: Some(u),
+                local,
+            } if !u.is_empty() => {
                 write!(f, "{{{u}}}{local}")
             }
             NodeTest::Name { local, .. } => write!(f, "{local}"),

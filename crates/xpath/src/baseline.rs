@@ -247,12 +247,10 @@ fn cmp_dom(op: CmpOp, l: &POp, r: &POp, operands: &[Vec<ResultItem>]) -> bool {
         },
         (other, POp::Seq(_)) => cmp_dom(op.flip(), r, other, operands),
         (a, b) => match (a, b) {
-            (POp::Literal(x), POp::Literal(y)) if matches!(op, CmpOp::Eq | CmpOp::Ne) => {
-                match op {
-                    CmpOp::Eq => x == y,
-                    _ => x != y,
-                }
-            }
+            (POp::Literal(x), POp::Literal(y)) if matches!(op, CmpOp::Eq | CmpOp::Ne) => match op {
+                CmpOp::Eq => x == y,
+                _ => x != y,
+            },
             _ => match (num(a), num(b)) {
                 (Some(x), Some(y)) => x.partial_cmp(&y).is_some_and(|o| op.test(o)),
                 _ => false,

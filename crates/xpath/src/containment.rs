@@ -35,10 +35,7 @@ fn test_implies(index: &NodeTest, query: &NodeTest) -> bool {
         (NodeTest::AnyName, NodeTest::Name { .. }) => true,
         (NodeTest::Text, NodeTest::Text) => true,
         (NodeTest::Comment, NodeTest::Comment) => true,
-        (
-            NodeTest::Name { uri: iu, local: il },
-            NodeTest::Name { uri: qu, local: ql },
-        ) => {
+        (NodeTest::Name { uri: iu, local: il }, NodeTest::Name { uri: qu, local: ql }) => {
             if il != ql {
                 return false;
             }
@@ -118,7 +115,13 @@ fn contains(ip: &[NStep], qp: &[NStep]) -> bool {
     // emb(i, q): index suffix starting at i can embed into query suffix
     // starting at q, where index step i must map to SOME query step >= q
     // (exactly q when the previous index edge was a child edge).
-    fn emb(ip: &[NStep], qp: &[NStep], i: usize, q: usize, memo: &mut Vec<Vec<Option<bool>>>) -> bool {
+    fn emb(
+        ip: &[NStep],
+        qp: &[NStep],
+        i: usize,
+        q: usize,
+        memo: &mut Vec<Vec<Option<bool>>>,
+    ) -> bool {
         if i == ip.len() {
             // All index steps mapped; valid only if the query is exhausted
             // too (terminal alignment is enforced by the caller structure).
@@ -209,7 +212,10 @@ mod tests {
     #[test]
     fn non_matching_paths() {
         assert_eq!(
-            cls("/Catalog/Product/RegPrice", "/Catalog/Categories/Product/RegPrice"),
+            cls(
+                "/Catalog/Product/RegPrice",
+                "/Catalog/Categories/Product/RegPrice"
+            ),
             IndexMatch::None
         );
         assert_eq!(cls("//Discount", "//RegPrice"), IndexMatch::None);

@@ -140,13 +140,7 @@ impl QueryTree {
         self.nodes.len()
     }
 
-    fn add_node(
-        &mut self,
-        parent: usize,
-        axis: QAxis,
-        test: NodeTest,
-        route: Route,
-    ) -> usize {
+    fn add_node(&mut self, parent: usize, axis: QAxis, test: NodeTest, route: Route) -> usize {
         let id = self.nodes.len();
         self.nodes.push(QueryNode {
             parent: Some(parent),
@@ -212,12 +206,8 @@ impl QueryTree {
                             if pending_desc {
                                 // `//@x` ≡ `descendant::*/attribute::x`:
                                 // insert the implicit element step.
-                                let elem = self.add_node(
-                                    cur,
-                                    QAxis::Descendant,
-                                    NodeTest::AnyName,
-                                    route,
-                                );
+                                let elem =
+                                    self.add_node(cur, QAxis::Descendant, NodeTest::AnyName, route);
                                 cur = elem;
                             }
                             QAxis::Attribute

@@ -173,12 +173,9 @@ impl<'q, 'd> QuickXScan<'q, 'd> {
 
     /// Finish after `EndDocument`, returning the result sequence.
     pub fn finish(mut self) -> XResult<Vec<ResultItem>> {
-        let root = self
-            .stacks[0]
-            .pop()
-            .ok_or_else(|| XPathError::Eval {
-                message: "unbalanced document (root instance missing)".into(),
-            })?;
+        let root = self.stacks[0].pop().ok_or_else(|| XPathError::Eval {
+            message: "unbalanced document (root instance missing)".into(),
+        })?;
         // Root-level predicates (rare: `/.[…]/…`).
         if !self.tree.nodes[0].predicates.is_empty() {
             let ok = self.tree.nodes[0]
@@ -520,9 +517,9 @@ impl EventSink for QuickXScan<'_, '_> {
         match ev {
             Event::StartDocument | Event::EndDocument | Event::NamespaceDecl { .. } => {}
             Event::StartElement { name } => self.on_start_element(name),
-            Event::EndElement => self.on_end_element().map_err(|e| {
-                rx_xml::XmlError::stream(e.to_string())
-            })?,
+            Event::EndElement => self
+                .on_end_element()
+                .map_err(|e| rx_xml::XmlError::stream(e.to_string()))?,
             Event::Attribute { name, value, .. } => self.on_attribute(name, value),
             Event::Text { value, .. } => self.on_text(value),
             Event::Comment { value } => self.on_comment(value),
@@ -554,9 +551,12 @@ fn eval_cmp(op: CmpOp, lhs: &POp, rhs: &POp, operands: &[Vec<ResultItem>]) -> bo
         // Normalize literal-on-the-left by flipping.
         (Literal(_) | Number(_), Seq(_) | Count(_)) => eval_cmp(op.flip(), rhs, lhs, operands),
         (Seq(i), Literal(s)) => operands[*i].iter().any(|v| cmp_str(op, &v.value, s)),
-        (Seq(i), Number(n)) => operands[*i]
-            .iter()
-            .any(|v| v.value.trim().parse::<f64>().is_ok_and(|x| num_cmp(op, x, *n))),
+        (Seq(i), Number(n)) => operands[*i].iter().any(|v| {
+            v.value
+                .trim()
+                .parse::<f64>()
+                .is_ok_and(|x| num_cmp(op, x, *n))
+        }),
         (Seq(i), Seq(j)) => operands[*i]
             .iter()
             .any(|a| operands[*j].iter().any(|b| cmp_str(op, &a.value, &b.value))),
@@ -752,8 +752,8 @@ mod tests {
         scan.event(Event::StartElement { name: s_name }).unwrap(); // s2
         scan.event(Event::StartElement { name: s_name }).unwrap(); // s3
         scan.event(Event::StartElement { name: t_name }).unwrap(); // t4
-        // The s query node is node 1; its stack holds exactly the two nested
-        // s instances (depths 2 and 3) — Fig. 7(b).
+                                                                   // The s query node is node 1; its stack holds exactly the two nested
+                                                                   // s instances (depths 2 and 3) — Fig. 7(b).
         assert_eq!(scan.stack_depths(1), vec![2, 3]);
         // The t query node's stack holds t4.
         assert_eq!(scan.stack_depths(2), vec![4]);

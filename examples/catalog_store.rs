@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = std::fs::remove_dir_all(&dir);
     let db = Database::create_dir(&dir)?;
 
-    let table = db.create_table("products", &[("sku", ColumnKind::Str), ("doc", ColumnKind::Xml)])?;
+    let table = db.create_table(
+        "products",
+        &[("sku", ColumnKind::Str), ("doc", ColumnKind::Xml)],
+    )?;
     db.create_value_index(
         "products",
         "price_idx",

@@ -49,10 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     // §5.2 protocol: IX table, IX doc, X subtree.
                     conc::lock_subtree_exclusive(&txn, table_id, doc, &item).unwrap();
                     // Status text = Item/Status(3rd child: Sku=02,Qty=04,Status=06)/text.
-                    let status_text = NodeId::from_bytes(
-                        &[item.as_bytes(), &[0x06, 0x02]].concat(),
-                    )
-                    .unwrap();
+                    let status_text =
+                        NodeId::from_bytes(&[item.as_bytes(), &[0x06, 0x02]].concat()).unwrap();
                     update::replace_value(
                         &txn,
                         col.xml_table(),
@@ -79,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     conc::lock_subtree_exclusive(&w, table_id, doc, &item_rel(0))?;
     let r = db.begin()?;
     let blocked = !r.try_lock(
-        &system_rx::storage::LockName::Document { table: table_id, doc },
+        &system_rx::storage::LockName::Document {
+            table: table_id,
+            doc,
+        },
         system_rx::storage::LockMode::S,
     )?;
     println!("whole-document S lock blocked by an item writer: {blocked}");
@@ -102,8 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let dict = &dict;
             s.spawn(move || {
                 for v in 0..200 {
-                    let recs =
-                        pack_for_mvcc(&order_doc(1, 4 + v % 3), dict, 3500).unwrap();
+                    let recs = pack_for_mvcc(&order_doc(1, 4 + v % 3), dict, 3500).unwrap();
                     store.commit_version(1, &recs, &[]).unwrap();
                 }
             });

@@ -57,15 +57,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("validation rejected bad document: {}", bad.is_err());
 
     // The optimizer picks an index plan (Table 2 case 1: exact DocID list).
-    if let Output::Explain(plan) =
-        session.execute("EXPLAIN SELECT XMLQUERY('/Catalog/Product[RegPrice > 100]') FROM products")?
+    if let Output::Explain(plan) = session
+        .execute("EXPLAIN SELECT XMLQUERY('/Catalog/Product[RegPrice > 100]') FROM products")?
     {
         println!("plan:\n{plan}\n");
     }
 
     // Query: the RegPrice predicate runs off the value index.
-    if let Output::Sequence(hits) =
-        session.execute("SELECT XMLQUERY('/Catalog/Product[RegPrice > 100]/ProductName') FROM products")?
+    if let Output::Sequence(hits) = session
+        .execute("SELECT XMLQUERY('/Catalog/Product[RegPrice > 100]/ProductName') FROM products")?
     {
         for h in &hits {
             println!("match in doc {}: {}", h.doc, h.value);

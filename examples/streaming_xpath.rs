@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Fig. 7: active state count on recursive documents ----------------
     println!("\nFig. 7 state comparison (//a//a//a over r nested <a> elements):");
-    println!("  {:>4} {:>22} {:>22}", "r", "QuickXScan peak", "naive matcher peak");
+    println!(
+        "  {:>4} {:>22} {:>22}",
+        "r", "QuickXScan peak", "naive matcher peak"
+    );
     let path = XPathParser::new().parse("//a//a//a")?;
     let tree3 = QueryTree::compile(&path)?;
     for r in [4usize, 8, 16, 32, 64] {

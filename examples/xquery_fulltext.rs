@@ -8,18 +8,36 @@ use system_rx::engine::{Database, Output, Session};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let session = Session::new(Database::create_in_memory()?);
     session.execute("CREATE TABLE library (shelf VARCHAR, doc XML)")?;
-    session.execute(
-        "CREATE INDEX year_idx ON library (doc) USING XPATH '/book/year' AS DOUBLE",
-    )?;
+    session.execute("CREATE INDEX year_idx ON library (doc) USING XPATH '/book/year' AS DOUBLE")?;
     session.execute(
         "CREATE FULLTEXT INDEX abstract_ft ON library (doc) USING XPATH '/book/abstract'",
     )?;
 
     let books = [
-        ("db", "Relational Databases", 1970, "tables tuples and a declarative algebra"),
-        ("db", "Native XML Storage", 2005, "packed records dewey identifiers streaming xpath"),
-        ("pl", "Streaming Algorithms", 2003, "one pass evaluation with bounded state"),
-        ("db", "Query Optimization", 1979, "access path selection with a cost model"),
+        (
+            "db",
+            "Relational Databases",
+            1970,
+            "tables tuples and a declarative algebra",
+        ),
+        (
+            "db",
+            "Native XML Storage",
+            2005,
+            "packed records dewey identifiers streaming xpath",
+        ),
+        (
+            "pl",
+            "Streaming Algorithms",
+            2003,
+            "one pass evaluation with bounded state",
+        ),
+        (
+            "db",
+            "Query Optimization",
+            1979,
+            "access path selection with a cost model",
+        ),
     ];
     for (shelf, title, year, abstract_text) in books {
         session.execute(&format!(
@@ -56,9 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Publishing functions over relational columns (§4.1 through SQL).
     println!("\nshelf summary via XMLAGG:");
-    if let Output::Xml(v) = session.execute(
-        "SELECT XMLAGG(XMLELEMENT(NAME shelf, shelf) ORDER BY shelf) FROM library",
-    )? {
+    if let Output::Xml(v) = session
+        .execute("SELECT XMLAGG(XMLELEMENT(NAME shelf, shelf) ORDER BY shelf) FROM library")?
+    {
         println!("  {}", v[0]);
     }
     Ok(())

@@ -1,0 +1,169 @@
+//! Offline stand-in for the `proptest` crate (see `[patch.crates-io]` in
+//! the root manifest).
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of proptest's API that the workspace's property tests use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map` / `boxed`;
+//! * `Just`, tuples, integer ranges, regex-subset string strategies,
+//!   [`collection::vec`], [`option::of`], [`arbitrary::any`], and weighted
+//!   [`prop_oneof!`] unions;
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, plus
+//!   [`prop_assert!`] / [`prop_assert_eq!`];
+//! * a deterministic runner (seeded per test name) — failures report the
+//!   generated inputs. **No shrinking**: a failing case prints its inputs
+//!   verbatim instead of a minimized counterexample.
+//!
+//! Determinism is a feature here: tier-1 CI runs the same cases every time.
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Strategies for `Option<T>`.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// An `Option<T>` that is `Some` about half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use std::marker::PhantomData;
+
+    /// A strategy producing any value of `T` (full-range for integers).
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Module alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Build a union strategy choosing among alternatives, optionally weighted
+/// (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; failure aborts the case
+/// with the formatted message (and the runner reports the inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }` runs
+/// `cases` times with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let inputs = {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(&format!(
+                                "  {} = {:?}\n", stringify!($arg), &$arg
+                            ));
+                        )+
+                        s
+                    };
+                    let outcome: $crate::test_runner::TestCaseResult =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}\ninputs:\n{}",
+                            stringify!($name), case, config.cases, e, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}

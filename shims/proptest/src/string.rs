@@ -1,0 +1,187 @@
+//! String generation from a small regex subset.
+//!
+//! Proptest treats `&str` strategies as regexes. The workspace's tests use
+//! a narrow dialect — literals, character classes with ranges, groups, and
+//! the `?` / `{m}` / `{m,n}` quantifiers — so that is what this parser
+//! supports (e.g. `"[a-z0-9 ]{0,12}"`, `"-?[0-9]{1,12}(\.[0-9]{1,6})?"`).
+//! Unsupported syntax panics with the offending pattern, so a new test
+//! using a wider dialect fails loudly instead of generating junk.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+enum Node {
+    Lit(char),
+    Class(Vec<char>),
+    Group(Vec<(Node, Rep)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Rep {
+    min: u32,
+    max: u32,
+}
+
+const ONCE: Rep = Rep { min: 1, max: 1 };
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0usize;
+    let seq = parse_seq(pattern, &chars, &mut pos, false);
+    if pos != chars.len() {
+        panic!("unsupported regex pattern {pattern:?} (stopped at offset {pos})");
+    }
+    let mut out = String::new();
+    emit_seq(&seq, rng, &mut out);
+    out
+}
+
+fn parse_seq(pat: &str, chars: &[char], pos: &mut usize, in_group: bool) -> Vec<(Node, Rep)> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        let node = match c {
+            ')' if in_group => break,
+            '(' => {
+                *pos += 1;
+                let inner = parse_seq(pat, chars, pos, true);
+                if *pos >= chars.len() || chars[*pos] != ')' {
+                    panic!("unterminated group in regex pattern {pat:?}");
+                }
+                *pos += 1;
+                Node::Group(inner)
+            }
+            '[' => {
+                *pos += 1;
+                Node::Class(parse_class(pat, chars, pos))
+            }
+            '\\' => {
+                *pos += 1;
+                let esc = *chars
+                    .get(*pos)
+                    .unwrap_or_else(|| panic!("dangling escape in regex pattern {pat:?}"));
+                *pos += 1;
+                Node::Lit(esc)
+            }
+            '.' | '*' | '+' | '|' | '^' | '$' => {
+                panic!("unsupported regex metacharacter {c:?} in pattern {pat:?}")
+            }
+            lit => {
+                *pos += 1;
+                Node::Lit(lit)
+            }
+        };
+        let rep = parse_quantifier(pat, chars, pos);
+        seq.push((node, rep));
+    }
+    seq
+}
+
+fn parse_class(pat: &str, chars: &[char], pos: &mut usize) -> Vec<char> {
+    let mut members = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let lo = chars[*pos];
+        *pos += 1;
+        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            let hi = chars[*pos + 1];
+            *pos += 2;
+            assert!(lo <= hi, "inverted class range in regex pattern {pat:?}");
+            members.extend(lo..=hi);
+        } else {
+            members.push(lo);
+        }
+    }
+    if *pos >= chars.len() {
+        panic!("unterminated character class in regex pattern {pat:?}");
+    }
+    *pos += 1; // consume ']'
+    assert!(!members.is_empty(), "empty character class in {pat:?}");
+    members
+}
+
+fn parse_quantifier(pat: &str, chars: &[char], pos: &mut usize) -> Rep {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Rep { min: 0, max: 1 }
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut min = 0u32;
+            while let Some(d) = chars.get(*pos).and_then(|c| c.to_digit(10)) {
+                min = min * 10 + d;
+                *pos += 1;
+            }
+            let max = if chars.get(*pos) == Some(&',') {
+                *pos += 1;
+                let mut m = 0u32;
+                while let Some(d) = chars.get(*pos).and_then(|c| c.to_digit(10)) {
+                    m = m * 10 + d;
+                    *pos += 1;
+                }
+                m
+            } else {
+                min
+            };
+            if chars.get(*pos) != Some(&'}') {
+                panic!("malformed {{m,n}} quantifier in regex pattern {pat:?}");
+            }
+            *pos += 1;
+            assert!(min <= max, "inverted quantifier in regex pattern {pat:?}");
+            Rep { min, max }
+        }
+        _ => ONCE,
+    }
+}
+
+fn emit_seq(seq: &[(Node, Rep)], rng: &mut TestRng, out: &mut String) {
+    for (node, rep) in seq {
+        let span = u64::from(rep.max - rep.min) + 1;
+        let reps = rep.min + rng.below(span) as u32;
+        for _ in 0..reps {
+            match node {
+                Node::Lit(c) => out.push(*c),
+                Node::Class(members) => {
+                    out.push(members[rng.below(members.len() as u64) as usize]);
+                }
+                Node::Group(inner) => emit_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn classes_and_quantifiers() {
+        let mut rng = TestRng::from_name("string-tests");
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = generate("[a-z0-9 ]{0,12}", &mut rng);
+            assert!(t.len() <= 12);
+
+            let d = generate(r"-?[0-9]{1,12}(\.[0-9]{1,6})?", &mut rng);
+            let stripped = d.strip_prefix('-').unwrap_or(&d);
+            let mut parts = stripped.splitn(2, '.');
+            let int = parts.next().unwrap();
+            assert!((1..=12).contains(&int.len()) && int.bytes().all(|b| b.is_ascii_digit()));
+            if let Some(frac) = parts.next() {
+                assert!((1..=6).contains(&frac.len()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn unsupported_syntax_panics() {
+        let mut rng = TestRng::from_name("string-tests-2");
+        generate("[a-z]+", &mut rng);
+    }
+}

@@ -14,7 +14,9 @@
 //! * [`engine`] — the native XML engine itself (tree-packed storage, NodeID
 //!   index, XPath value indexes, access methods, constructors, the virtual-
 //!   SAX runtime, concurrency control, and the SQL/XML session layer);
-//! * [`gen`] — deterministic workload generators for the experiments.
+//! * [`gen`] — deterministic workload generators for the experiments;
+//! * [`server`] — the concurrent service layer (wire protocol, sessions,
+//!   admission control, stats) over TCP or in-process channels.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@
 
 pub use rx_engine as engine;
 pub use rx_gen as gen;
+pub use rx_server as server;
 pub use rx_storage as storage;
 pub use rx_xml as xml;
 pub use rx_xpath as xpath;

@@ -15,7 +15,9 @@ fn auction_queries_agree_and_use_indexes() {
         ..Default::default()
     })
     .unwrap();
-    let t = db.create_table("site", &[("doc", ColumnKind::Xml)]).unwrap();
+    let t = db
+        .create_table("site", &[("doc", ColumnKind::Xml)])
+        .unwrap();
     db.create_value_index(
         "site",
         "income",
@@ -58,9 +60,7 @@ fn auction_queries_agree_and_use_indexes() {
             let (mut hits, _) = access::execute(&plan, &t, col, db.dict(), &path).unwrap();
             let (mut scan, _) =
                 access::execute(&AccessPlan::FullScan, &t, col, db.dict(), &path).unwrap();
-            let key = |h: &access::QueryHit| {
-                (h.doc, h.node.clone().map(|n| n.as_bytes().to_vec()))
-            };
+            let key = |h: &access::QueryHit| (h.doc, h.node.clone().map(|n| n.as_bytes().to_vec()));
             hits.sort_by_key(key);
             scan.sort_by_key(key);
             assert_eq!(hits, scan, "query {q} nodeid={nodeid}");
@@ -72,9 +72,5 @@ fn auction_queries_agree_and_use_indexes() {
         .parse("//person[profile/@income > 60000]")
         .unwrap();
     let plan = access::plan(&path, col, false);
-    assert!(
-        plan.explain().contains("list access"),
-        "{}",
-        plan.explain()
-    );
+    assert!(plan.explain().contains("list access"), "{}", plan.explain());
 }

@@ -89,9 +89,8 @@ fn disjoint_subtree_writers_produce_all_updates() {
     let col = t.xml_column("doc").unwrap();
 
     // Item i's node id: Order(02) / child (06 + 2i) — @id:02, Customer:04.
-    let item_node = |i: usize| -> NodeId {
-        NodeId::from_bytes(&[0x02, 0x06 + 2 * i as u8]).unwrap()
-    };
+    let item_node =
+        |i: usize| -> NodeId { NodeId::from_bytes(&[0x02, 0x06 + 2 * i as u8]).unwrap() };
     std::thread::scope(|s| {
         for w in 0..4usize {
             let db = &db;
@@ -124,7 +123,11 @@ fn mvcc_snapshot_isolation_under_writes() {
     let store = Arc::new(MvccXmlStore::create(space).unwrap());
     let dict = NameDict::new();
     store
-        .commit_version(1, &pack_for_mvcc("<o><v>0</v></o>", &dict, 3500).unwrap(), &[])
+        .commit_version(
+            1,
+            &pack_for_mvcc("<o><v>0</v></o>", &dict, 3500).unwrap(),
+            &[],
+        )
         .unwrap();
     let anomalies = Arc::new(AtomicU64::new(0));
     std::thread::scope(|s| {
@@ -133,8 +136,7 @@ fn mvcc_snapshot_isolation_under_writes() {
             let dict = &dict;
             s.spawn(move || {
                 for v in 1..=100 {
-                    let recs =
-                        pack_for_mvcc(&format!("<o><v>{v}</v></o>"), dict, 3500).unwrap();
+                    let recs = pack_for_mvcc(&format!("<o><v>{v}</v></o>"), dict, 3500).unwrap();
                     store.commit_version(1, &recs, &[]).unwrap();
                 }
             });
@@ -205,8 +207,11 @@ fn locked_reader_never_sees_partial_insert_via_index() {
     db.create_value_index("p", "v", "doc", "/r/v", KeyType::Double)
         .unwrap();
     // One committed document.
-    db.insert_row(&t, &[ColValue::Xml("<r><v>1</v><tag>done</tag></r>".into())])
-        .unwrap();
+    db.insert_row(
+        &t,
+        &[ColValue::Xml("<r><v>1</v><tag>done</tag></r>".into())],
+    )
+    .unwrap();
     let col = t.xml_column("doc").unwrap();
     let path = XPathParser::new().parse("/r[v >= 1]/tag").unwrap();
 
@@ -253,8 +258,7 @@ fn locked_reader_never_sees_partial_insert_via_index() {
     });
     // After commit, the locked reader sees both documents.
     let txn = db.begin().unwrap();
-    let (hits, _) =
-        access::run_query_locked(&txn, &t, col, db.dict(), &path, false).unwrap();
+    let (hits, _) = access::run_query_locked(&txn, &t, col, db.dict(), &path, false).unwrap();
     txn.commit().unwrap();
     let mut values: Vec<String> = hits.into_iter().map(|h| h.value).collect();
     values.sort();
@@ -274,8 +278,7 @@ fn locked_scan_without_indexes() {
     let col = t.xml_column("doc").unwrap();
     let path = XPathParser::new().parse("/r/v").unwrap();
     let txn = db.begin().unwrap();
-    let (hits, stats) =
-        access::run_query_locked(&txn, &t, col, db.dict(), &path, false).unwrap();
+    let (hits, stats) = access::run_query_locked(&txn, &t, col, db.dict(), &path, false).unwrap();
     assert_eq!(hits.len(), 5);
     assert_eq!(stats.candidates, 5);
     // All five document locks are held until commit.

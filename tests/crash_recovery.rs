@@ -79,7 +79,10 @@ fn uncommitted_transaction_rolls_back_at_recovery() {
     }
     let db = Database::open_dir(&dir).unwrap();
     let t = db.table("p").unwrap();
-    assert!(db.serialize_document(&t, "doc", 1).unwrap().contains("keep"));
+    assert!(db
+        .serialize_document(&t, "doc", 1)
+        .unwrap()
+        .contains("keep"));
     // Doc 2 must be gone (loser undone).
     assert!(db.serialize_document(&t, "doc", 2).is_err());
     assert!(db.fetch_row(&t, 2).unwrap().is_none());
@@ -88,7 +91,10 @@ fn uncommitted_transaction_rolls_back_at_recovery() {
         .insert_row(&t, &[ColValue::Xml("<a><v>after</v></a>".into())])
         .unwrap();
     assert!(d > 1);
-    assert!(db.serialize_document(&t, "doc", d).unwrap().contains("after"));
+    assert!(db
+        .serialize_document(&t, "doc", d)
+        .unwrap()
+        .contains("after"));
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -11,9 +11,12 @@ use system_rx::xpath::XPathParser;
 #[test]
 fn sql_session_full_workflow() {
     let s = Session::new(Database::create_in_memory().unwrap());
-    s.execute("CREATE TABLE inv (region VARCHAR, doc XML)").unwrap();
-    s.execute("CREATE INDEX p ON inv (doc) USING XPATH '/Catalog/Categories/Product/RegPrice' AS DOUBLE")
+    s.execute("CREATE TABLE inv (region VARCHAR, doc XML)")
         .unwrap();
+    s.execute(
+        "CREATE INDEX p ON inv (doc) USING XPATH '/Catalog/Categories/Product/RegPrice' AS DOUBLE",
+    )
+    .unwrap();
     let spec = CatalogSpec {
         products: 50,
         ..Default::default()
@@ -132,10 +135,8 @@ fn index_and_scan_agree_on_generated_catalog() {
             let plan = access::plan(&path, col, nodeid);
             let (mut hits, _) = access::execute(&plan, &t, col, db.dict(), &path).unwrap();
             let (mut scan, _) =
-                access::execute(&access::AccessPlan::FullScan, &t, col, db.dict(), &path)
-                    .unwrap();
-            let key =
-                |h: &access::QueryHit| (h.doc, h.node.clone().map(|n| n.as_bytes().to_vec()));
+                access::execute(&access::AccessPlan::FullScan, &t, col, db.dict(), &path).unwrap();
+            let key = |h: &access::QueryHit| (h.doc, h.node.clone().map(|n| n.as_bytes().to_vec()));
             hits.sort_by_key(key);
             scan.sort_by_key(key);
             assert_eq!(hits, scan, "query {q}, nodeid={nodeid}");

@@ -34,8 +34,7 @@ enum Fate {
 
 fn arb_txn() -> impl Strategy<Value = (Vec<Op>, Fate)> {
     let op = prop_oneof![
-        (prop::collection::vec(1u8..16, 1..5), any::<u64>())
-            .prop_map(|(k, v)| Op::Insert(k, v)),
+        (prop::collection::vec(1u8..16, 1..5), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
         prop::collection::vec(1u8..16, 1..5).prop_map(Op::Delete),
     ];
     (

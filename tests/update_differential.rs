@@ -26,8 +26,11 @@ fn arb_edit() -> impl Strategy<Value = Edit> {
     prop_oneof![
         (any::<usize>(), "[a-z]{1,20}").prop_map(|(i, s)| Edit::ReplaceText(i, s)),
         any::<usize>().prop_map(Edit::DeleteElement),
-        (any::<usize>(), 0u8..4, "[a-z]{1,6}")
-            .prop_map(|(i, p, n)| Edit::Insert(i, p, format!("<{n}>{n}</{n}>"))),
+        (any::<usize>(), 0u8..4, "[a-z]{1,6}").prop_map(|(i, p, n)| Edit::Insert(
+            i,
+            p,
+            format!("<{n}>{n}</{n}>")
+        )),
     ]
 }
 
@@ -112,8 +115,7 @@ impl Db {
                     _ => InsertPos::Last,
                 };
                 let txn = self.db.begin().unwrap();
-                update::insert_fragment(&txn, xml, 1, self.db.dict(), node, pos, frag)
-                    .unwrap();
+                update::insert_fragment(&txn, xml, 1, self.db.dict(), node, pos, frag).unwrap();
                 txn.commit().unwrap();
                 true
             }

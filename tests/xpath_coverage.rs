@@ -20,10 +20,10 @@ fn check(doc: &str, query: &str, parser: &XPathParser) -> Vec<String> {
     })
     .unwrap();
     let t = db.create_table("t", &[("doc", ColumnKind::Xml)]).unwrap();
-    db.insert_row(&t, &[ColValue::Xml(doc.to_string())]).unwrap();
+    db.insert_row(&t, &[ColValue::Xml(doc.to_string())])
+        .unwrap();
     let col = t.xml_column("doc").unwrap();
-    let (hits, _) =
-        access::execute(&AccessPlan::FullScan, &t, col, db.dict(), &path).unwrap();
+    let (hits, _) = access::execute(&AccessPlan::FullScan, &t, col, db.dict(), &path).unwrap();
     let stored: Vec<String> = hits.into_iter().map(|h| h.value).collect();
     // DOM reference.
     let dict = NameDict::new();
@@ -45,7 +45,10 @@ fn namespace_qualified_queries() {
         <other xmlns="urn:other"><v:price>99</v:price></other>
     </c:cat>"#;
     assert_eq!(check(doc, "//v:price", &parser), vec!["10", "20", "99"]);
-    assert_eq!(check(doc, "/c:cat/c:item/v:price", &parser), vec!["10", "20"]);
+    assert_eq!(
+        check(doc, "/c:cat/c:item/v:price", &parser),
+        vec!["10", "20"]
+    );
     // Unqualified local-name match crosses namespaces.
     let plain = XPathParser::new();
     assert_eq!(check(doc, "//price", &plain).len(), 3);
@@ -74,8 +77,14 @@ fn deep_operand_chains() {
         <order><lines><line><sku>C</sku><qty>9</qty></line></lines></order>
     </shop>"#;
     // Predicate path three steps deep.
-    assert_eq!(check(doc, "/shop/order[lines/line/qty > 4]", &parser).len(), 2);
-    assert_eq!(check(doc, "/shop/order[lines/line/sku = 'B']", &parser).len(), 1);
+    assert_eq!(
+        check(doc, "/shop/order[lines/line/qty > 4]", &parser).len(),
+        2
+    );
+    assert_eq!(
+        check(doc, "/shop/order[lines/line/sku = 'B']", &parser).len(),
+        1
+    );
     // Descendant operand inside predicate.
     assert_eq!(check(doc, "//order[.//qty = 9]//sku", &parser), vec!["C"]);
     // Nested predicates on the operand chain.
