@@ -1,0 +1,54 @@
+//! E10: single-operation costs of the de-serialized storage hot path — a
+//! group-commit WAL commit, the no-op fast path once an LSN is already
+//! durable, and a sharded buffer-pool hit. (The contended throughput runs —
+//! many writers sharing fsyncs, many readers spread over shards — live in
+//! the `report` binary.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rx_storage::wal::{LogRecord, MemLogStore, Wal};
+use rx_storage::{BufferPool, MemBackend, PageId, StorageBackend};
+use std::sync::Arc;
+
+fn bench_commit_path(c: &mut Criterion) {
+    let wal = Wal::new(Arc::new(MemLogStore::new()));
+
+    let mut g = c.benchmark_group("e10_commit_path");
+    g.sample_size(20);
+    g.bench_function("log_and_wait_durable", |b| {
+        let mut txn = 0u64;
+        b.iter(|| {
+            txn += 1;
+            let lsn = wal.log(&LogRecord::Commit { txn }).unwrap();
+            wal.wait_durable(lsn).unwrap();
+        });
+    });
+    g.bench_function("wait_durable_already_durable", |b| {
+        let lsn = wal.log(&LogRecord::Commit { txn: u64::MAX }).unwrap();
+        wal.wait_durable(lsn).unwrap();
+        b.iter(|| wal.wait_durable(std::hint::black_box(lsn)).unwrap());
+    });
+    g.finish();
+
+    let pool = BufferPool::new(256);
+    let backend = Arc::new(MemBackend::new());
+    backend.ensure_pages(64).unwrap();
+    pool.register_space(1, backend);
+    // Warm the shard tables so every fetch is a hit.
+    for p in 0..64 {
+        pool.fetch(PageId::new(1, p)).unwrap();
+    }
+
+    let mut g = c.benchmark_group("e10_sharded_pool");
+    g.sample_size(20);
+    g.bench_function("fetch_hit", |b| {
+        let mut p = 0u32;
+        b.iter(|| {
+            p = (p + 1) % 64;
+            std::hint::black_box(pool.fetch(PageId::new(1, p)).unwrap());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_commit_path);
+criterion_main!(benches);

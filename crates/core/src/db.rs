@@ -103,10 +103,25 @@ pub struct DbStats {
     pub buffer_writebacks: u64,
     /// Pages currently resident.
     pub buffer_resident: u64,
+    /// Buffer-pool lock stripes.
+    pub buffer_shards: u64,
+    /// Shard-mutex acquisitions that found the mutex already held.
+    pub buffer_contention: u64,
     /// Total WAL bytes appended.
     pub wal_bytes: u64,
     /// Total WAL records appended.
     pub wal_records: u64,
+    /// Fsyncs issued by the WAL group-commit flusher.
+    pub wal_fsyncs: u64,
+    /// Commits that waited on a group-commit flush (fewer fsyncs than this
+    /// under concurrent load means batching is working).
+    pub wal_group_commits: u64,
+    /// Largest number of records one fsync covered.
+    pub wal_batch_max: u64,
+    /// Highest LSN known durable (the replication-shipping watermark).
+    pub wal_durable_lsn: u64,
+    /// Assigned LSNs not yet durable.
+    pub wal_durable_lag: u64,
     /// Lock requests that blocked at least once.
     pub lock_waits: u64,
     /// Lock requests that timed out.
@@ -501,14 +516,26 @@ impl Database {
             self.pool.stats.snapshot();
         let (lock_waits, lock_timeouts, lock_deadlocks) = self.txns.locks().stats.snapshot();
         let wal = self.txns.wal();
+        let wal_stats = wal.stats.snapshot();
         DbStats {
             buffer_hits,
             buffer_misses,
             buffer_evictions,
             buffer_writebacks,
             buffer_resident: self.pool.resident() as u64,
+            buffer_shards: self.pool.shard_count() as u64,
+            buffer_contention: self
+                .pool
+                .stats
+                .contention
+                .load(std::sync::atomic::Ordering::Relaxed),
             wal_bytes: wal.bytes_written(),
             wal_records: wal.records_written(),
+            wal_fsyncs: wal_stats.fsyncs,
+            wal_group_commits: wal_stats.group_commits,
+            wal_batch_max: wal_stats.batch_records_max,
+            wal_durable_lsn: wal.durable_lsn(),
+            wal_durable_lag: wal.durable_lag(),
             lock_waits,
             lock_timeouts,
             lock_deadlocks,

@@ -179,8 +179,15 @@ impl StatsSnapshot {
             .u64(d.buffer_evictions)
             .u64(d.buffer_writebacks)
             .u64(d.buffer_resident)
+            .u64(d.buffer_shards)
+            .u64(d.buffer_contention)
             .u64(d.wal_bytes)
             .u64(d.wal_records)
+            .u64(d.wal_fsyncs)
+            .u64(d.wal_group_commits)
+            .u64(d.wal_batch_max)
+            .u64(d.wal_durable_lsn)
+            .u64(d.wal_durable_lag)
             .u64(d.lock_waits)
             .u64(d.lock_timeouts)
             .u64(d.lock_deadlocks)
@@ -214,8 +221,15 @@ impl StatsSnapshot {
         db.buffer_evictions = next()?;
         db.buffer_writebacks = next()?;
         db.buffer_resident = next()?;
+        db.buffer_shards = next()?;
+        db.buffer_contention = next()?;
         db.wal_bytes = next()?;
         db.wal_records = next()?;
+        db.wal_fsyncs = next()?;
+        db.wal_group_commits = next()?;
+        db.wal_batch_max = next()?;
+        db.wal_durable_lsn = next()?;
+        db.wal_durable_lag = next()?;
         db.lock_waits = next()?;
         db.lock_timeouts = next()?;
         db.lock_deadlocks = next()?;
@@ -262,6 +276,13 @@ mod tests {
         s.latency[ReqClass::Read as usize].buckets[4] = 7;
         s.latency[ReqClass::Read as usize].count = 7;
         s.db.wal_records = 99;
+        s.db.wal_fsyncs = 5;
+        s.db.wal_group_commits = 40;
+        s.db.wal_batch_max = 12;
+        s.db.wal_durable_lsn = 98;
+        s.db.wal_durable_lag = 1;
+        s.db.buffer_shards = 16;
+        s.db.buffer_contention = 7;
         let mut e = Enc::new();
         s.encode(&mut e);
         let bytes = e.into_bytes();

@@ -141,11 +141,12 @@ impl Txn {
         self.mgr.locks.try_lock(self.id, name, mode)
     }
 
-    /// Commit: force the log, release locks.
+    /// Commit: wait until the commit record is durable (joining the current
+    /// group-commit batch rather than forcing a private fsync), release locks.
     pub fn commit(mut self) -> Result<()> {
         if !self.finished {
-            self.mgr.wal.log(&LogRecord::Commit { txn: self.id })?;
-            self.mgr.wal.force()?;
+            let lsn = self.mgr.wal.log(&LogRecord::Commit { txn: self.id })?;
+            self.mgr.wal.wait_durable(lsn)?;
             self.mgr.finish(self.id);
             self.finished = true;
         }
@@ -178,8 +179,8 @@ impl Txn {
                 first_err.get_or_insert(e);
             }
         }
-        self.mgr.wal.log(&LogRecord::Abort { txn: self.id })?;
-        self.mgr.wal.force()?;
+        let lsn = self.mgr.wal.log(&LogRecord::Abort { txn: self.id })?;
+        self.mgr.wal.wait_durable(lsn)?;
         self.mgr.finish(self.id);
         self.finished = true;
         match first_err {

@@ -13,11 +13,12 @@ use crate::buffer::SpaceId;
 use crate::error::{Result, StorageError};
 use crate::heap::HeapTable;
 use crate::rid::Rid;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Log sequence number.
@@ -390,15 +391,78 @@ impl LogStore for MemLogStore {
     }
 }
 
-/// The write-ahead log: frames records, assigns LSNs, forces on commit.
+/// Snapshot of the group-commit counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStatsSnapshot {
+    /// Backend fsyncs issued by group-commit flush batches.
+    pub fsyncs: u64,
+    /// `wait_durable` calls that actually had to wait for a flush (i.e.
+    /// commits that participated in a group).
+    pub group_commits: u64,
+    /// Total records covered by all flush batches.
+    pub batch_records_total: u64,
+    /// Largest number of records one fsync covered.
+    pub batch_records_max: u64,
+}
+
+/// Live group-commit counters (lock-free; read by the stats surface).
+#[derive(Default)]
+pub struct WalStats {
+    /// Backend fsyncs issued by flush batches.
+    pub fsyncs: AtomicU64,
+    /// `wait_durable` calls that had to wait for a flush.
+    pub group_commits: AtomicU64,
+    /// Total records covered by flush batches.
+    pub batch_records_total: AtomicU64,
+    /// Largest record count one fsync covered.
+    pub batch_records_max: AtomicU64,
+}
+
+impl WalStats {
+    /// Read the counters.
+    pub fn snapshot(&self) -> WalStatsSnapshot {
+        WalStatsSnapshot {
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            batch_records_total: self.batch_records_total.load(Ordering::Relaxed),
+            batch_records_max: self.batch_records_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The write-ahead log: frames records, assigns LSNs, and makes commits
+/// durable with **group commit**.
+///
+/// `log()` appends framed bytes to an in-memory staging buffer under a short
+/// critical section — no backend I/O is ever performed while holding the
+/// state mutex. Committers call [`Wal::wait_durable`] with their commit LSN:
+/// the first waiter to find no flush in flight is elected *leader*, takes the
+/// whole staging buffer, writes and fsyncs it as one batch outside the lock,
+/// advances `durable_lsn`, and wakes every waiter the batch covered. One
+/// fsync thereby amortizes across all concurrently committing sessions.
 pub struct Wal {
     store: Arc<dyn LogStore>,
     state: Mutex<WalState>,
+    flushed: Condvar,
+    /// Group-commit counters.
+    pub stats: WalStats,
 }
 
 struct WalState {
+    /// Next LSN to assign.
     next_lsn: Lsn,
+    /// Total framed bytes staged so far (accounting; only advanced once the
+    /// record is safely in the staging buffer, so a failed backend append can
+    /// never skew the counters).
     bytes_written: u64,
+    /// Framed bytes not yet handed to the backend store.
+    staging: Vec<u8>,
+    /// Record count in `staging`.
+    staged_records: u64,
+    /// A leader currently owns the store tail (appending and/or fsyncing).
+    flushing: bool,
+    /// Highest LSN known to be on durable storage.
+    durable_lsn: Lsn,
 }
 
 impl Wal {
@@ -409,28 +473,120 @@ impl Wal {
             state: Mutex::new(WalState {
                 next_lsn: 1,
                 bytes_written: 0,
+                staging: Vec::new(),
+                staged_records: 0,
+                flushing: false,
+                durable_lsn: 0,
             }),
+            flushed: Condvar::new(),
+            stats: WalStats::default(),
         })
     }
 
-    /// Append a record, returning its LSN. Does not force.
+    /// Append a record, returning its LSN. Does not force: the record sits in
+    /// the staging buffer until a group-commit flush (or [`Wal::read_records`])
+    /// hands it to the backend.
     pub fn log(&self, rec: &LogRecord) -> Result<Lsn> {
         let mut payload = Vec::with_capacity(64);
         rec.encode(&mut payload);
-        let mut framed = Vec::with_capacity(payload.len() + 4);
-        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        framed.extend_from_slice(&payload);
         let mut st = self.state.lock();
         let lsn = st.next_lsn;
         st.next_lsn += 1;
-        st.bytes_written += framed.len() as u64;
-        self.store.append(&framed)?;
+        st.bytes_written += payload.len() as u64 + 4;
+        st.staging
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        st.staging.extend_from_slice(&payload);
+        st.staged_records += 1;
         Ok(lsn)
     }
 
-    /// Force the log to durable storage (commit point).
+    /// Block until every record with LSN `<= lsn` is durable. Committers call
+    /// this with their commit LSN; whichever waiter finds no flush in flight
+    /// becomes the leader and flushes the entire staged batch for everyone.
+    pub fn wait_durable(&self, lsn: Lsn) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.durable_lsn >= lsn {
+            return Ok(());
+        }
+        self.stats.group_commits.fetch_add(1, Ordering::Relaxed);
+        loop {
+            if st.durable_lsn >= lsn {
+                return Ok(());
+            }
+            if st.flushing {
+                self.flushed.wait(&mut st);
+                continue;
+            }
+            // Leader election: this thread owns the store tail until the
+            // batch is on disk. All LSNs below `target` are either in the
+            // batch we are taking or were handed to the store by an earlier
+            // leader (whose bytes our fsync also covers).
+            let batch = std::mem::take(&mut st.staging);
+            let nrecs = std::mem::take(&mut st.staged_records);
+            let target = st.next_lsn - 1;
+            st.flushing = true;
+            drop(st);
+            let append_res = if batch.is_empty() {
+                Ok(())
+            } else {
+                self.store.append(&batch)
+            };
+            if let Err(e) = append_res {
+                // The batch never reached the store: put it back at the front
+                // of staging so no logged record is lost and the counters
+                // stay truthful; a later flusher retries in order.
+                let mut st = self.state.lock();
+                st.flushing = false;
+                let mut restored = batch;
+                restored.extend_from_slice(&st.staging);
+                st.staging = restored;
+                st.staged_records += nrecs;
+                self.flushed.notify_all();
+                return Err(e);
+            }
+            let flush_res = self.store.flush();
+            st = self.state.lock();
+            st.flushing = false;
+            match flush_res {
+                Ok(()) => {
+                    st.durable_lsn = st.durable_lsn.max(target);
+                    self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .batch_records_total
+                        .fetch_add(nrecs, Ordering::Relaxed);
+                    self.stats
+                        .batch_records_max
+                        .fetch_max(nrecs, Ordering::Relaxed);
+                    self.flushed.notify_all();
+                    // Loop: durable_lsn now covers our lsn (we staged before
+                    // waiting), so the next iteration returns.
+                }
+                Err(e) => {
+                    // Bytes are appended but not durably synced: durable_lsn
+                    // stays put; a later successful fsync will cover them.
+                    self.flushed.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Force everything logged so far to durable storage.
     pub fn force(&self) -> Result<()> {
-        self.store.flush()
+        let last = self.state.lock().next_lsn - 1;
+        self.wait_durable(last)
+    }
+
+    /// Highest LSN known durable.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.state.lock().durable_lsn
+    }
+
+    /// Number of assigned LSNs not yet durable (the replication-shipping
+    /// watermark gap).
+    pub fn durable_lag(&self) -> u64 {
+        let st = self.state.lock();
+        (st.next_lsn - 1).saturating_sub(st.durable_lsn)
     }
 
     /// Total bytes appended so far (the §3.1 "larger log spaces" metric).
@@ -443,8 +599,41 @@ impl Wal {
         self.state.lock().next_lsn - 1
     }
 
-    /// Decode the whole log.
+    /// Hand any staged bytes to the backend store (without requiring an
+    /// fsync), serialized against in-flight group-commit flushes so the store
+    /// tail is only ever written by one thread.
+    fn drain_staging(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        loop {
+            if st.flushing {
+                self.flushed.wait(&mut st);
+                continue;
+            }
+            if st.staging.is_empty() {
+                return Ok(());
+            }
+            let batch = std::mem::take(&mut st.staging);
+            let nrecs = std::mem::take(&mut st.staged_records);
+            st.flushing = true;
+            drop(st);
+            let res = self.store.append(&batch);
+            st = self.state.lock();
+            st.flushing = false;
+            if let Err(e) = res {
+                let mut restored = batch;
+                restored.extend_from_slice(&st.staging);
+                st.staging = restored;
+                st.staged_records += nrecs;
+                self.flushed.notify_all();
+                return Err(e);
+            }
+            self.flushed.notify_all();
+        }
+    }
+
+    /// Decode the whole log (staged records included).
     pub fn read_records(&self) -> Result<Vec<LogRecord>> {
+        self.drain_staging()?;
         let buf = self.store.read_all()?;
         let mut recs = Vec::new();
         let mut p = 0usize;
@@ -461,12 +650,43 @@ impl Wal {
         Ok(recs)
     }
 
-    /// Write a checkpoint record and truncate the log prefix. The caller must
-    /// have flushed all dirty pages first.
+    /// Write a checkpoint record and truncate the log prefix, coordinating
+    /// with any in-flight group-commit flush. The caller must have flushed
+    /// all dirty pages first, which is also why discarding the staged (not
+    /// yet durable) records together with the truncated prefix is safe.
     pub fn checkpoint(&self) -> Result<()> {
-        self.store.truncate()?;
-        self.log(&LogRecord::Checkpoint)?;
-        self.force()
+        let mut st = self.state.lock();
+        while st.flushing {
+            self.flushed.wait(&mut st);
+        }
+        st.staging.clear();
+        st.staged_records = 0;
+        let mut payload = Vec::new();
+        LogRecord::Checkpoint.encode(&mut payload);
+        let mut framed = Vec::with_capacity(payload.len() + 4);
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        let ckpt_lsn = st.next_lsn;
+        st.next_lsn += 1;
+        st.bytes_written += framed.len() as u64;
+        st.flushing = true;
+        drop(st);
+        let res = (|| {
+            self.store.truncate()?;
+            self.store.append(&framed)?;
+            self.store.flush()
+        })();
+        let mut st = self.state.lock();
+        st.flushing = false;
+        if res.is_ok() {
+            // Everything at or below the checkpoint LSN is either truncated
+            // away or the (fsynced) checkpoint record itself. Records staged
+            // concurrently carry higher LSNs and are not covered.
+            st.durable_lsn = st.durable_lsn.max(ckpt_lsn);
+        }
+        drop(st);
+        self.flushed.notify_all();
+        res
     }
 }
 
@@ -749,11 +969,65 @@ mod tests {
         let store = Arc::new(MemLogStore::new());
         let wal = Wal::new(store.clone());
         wal.log(&LogRecord::Begin { txn: 1 }).unwrap();
+        wal.force().unwrap();
         // Simulate a crash mid-append: framed length says 100 but only 2 bytes follow.
         store.append(&100u32.to_le_bytes()).unwrap();
         store.append(&[1, 2]).unwrap();
         let recs = wal.read_records().unwrap();
         assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn one_fsync_covers_a_whole_batch() {
+        let wal = Wal::new(Arc::new(MemLogStore::new()));
+        let mut last = 0;
+        for i in 0..10 {
+            last = wal.log(&LogRecord::Begin { txn: i }).unwrap();
+        }
+        assert_eq!(wal.durable_lsn(), 0);
+        assert_eq!(wal.durable_lag(), 10);
+        wal.wait_durable(last).unwrap();
+        let s = wal.stats.snapshot();
+        assert_eq!(s.fsyncs, 1, "one batch, one fsync");
+        assert_eq!(s.batch_records_max, 10);
+        assert_eq!(wal.durable_lsn(), last);
+        assert_eq!(wal.durable_lag(), 0);
+        // Already durable: no further fsync.
+        wal.wait_durable(last).unwrap();
+        wal.force().unwrap();
+        assert_eq!(wal.stats.snapshot().fsyncs, 1);
+    }
+
+    #[test]
+    fn read_records_sees_staged_records() {
+        let wal = Wal::new(Arc::new(MemLogStore::new()));
+        wal.log(&LogRecord::Begin { txn: 1 }).unwrap();
+        // Not forced: still in staging, but visible to readers.
+        assert_eq!(wal.read_records().unwrap().len(), 1);
+        // Draining does not make records durable.
+        assert_eq!(wal.durable_lsn(), 0);
+    }
+
+    #[test]
+    fn concurrent_commits_share_fsyncs() {
+        let wal = Wal::new(Arc::new(MemLogStore::new()));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let wal = Arc::clone(&wal);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        wal.log(&LogRecord::Begin { txn: t * 1000 + i }).unwrap();
+                        let lsn = wal.log(&LogRecord::Commit { txn: t * 1000 + i }).unwrap();
+                        wal.wait_durable(lsn).unwrap();
+                    }
+                });
+            }
+        });
+        let s = wal.stats.snapshot();
+        assert_eq!(wal.records_written(), 800);
+        assert_eq!(wal.durable_lag(), 0);
+        assert!(s.fsyncs <= s.group_commits, "{s:?}");
+        assert_eq!(wal.read_records().unwrap().len(), 800);
     }
 
     #[test]

@@ -82,6 +82,18 @@ fn main() {
         stats.db.wal_records, stats.db.wal_bytes
     );
     println!(
+        "buffer shards/contention: {}/{}",
+        stats.db.buffer_shards, stats.db.buffer_contention
+    );
+    println!(
+        "group commit: {} fsyncs for {} waiting commits (max batch {} records, durable lsn {}, lag {})",
+        stats.db.wal_fsyncs,
+        stats.db.wal_group_commits,
+        stats.db.wal_batch_max,
+        stats.db.wal_durable_lsn,
+        stats.db.wal_durable_lag
+    );
+    println!(
         "lock waits/timeouts/deadlocks: {}/{}/{}",
         stats.db.lock_waits, stats.db.lock_timeouts, stats.db.lock_deadlocks
     );

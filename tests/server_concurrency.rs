@@ -105,6 +105,19 @@ fn eight_clients_mixed_workload_no_lost_updates() {
         "buffer pool counters must move"
     );
     assert!(stats.db.wal_records > 0);
+    // Group-commit and shard counters flow through the wire snapshot.
+    assert!(stats.db.buffer_shards >= 1);
+    assert!(
+        stats.db.wal_fsyncs > 0,
+        "committing work must fsync the WAL"
+    );
+    assert!(
+        stats.db.wal_fsyncs <= stats.db.wal_group_commits,
+        "group commit can never fsync more often than commits wait: {} > {}",
+        stats.db.wal_fsyncs,
+        stats.db.wal_group_commits
+    );
+    assert!(stats.db.wal_durable_lsn > 0);
     server.shutdown();
 }
 
