@@ -113,8 +113,9 @@ pub struct DbStats {
     pub wal_records: u64,
     /// Fsyncs issued by the WAL group-commit flusher.
     pub wal_fsyncs: u64,
-    /// Commits that waited on a group-commit flush (fewer fsyncs than this
-    /// under concurrent load means batching is working).
+    /// Commits whose records were not yet durable on arrival, i.e. that
+    /// joined a group-commit flush as leader or waiter (fewer fsyncs than
+    /// this under concurrent load means batching is working).
     pub wal_group_commits: u64,
     /// Largest number of records one fsync covered.
     pub wal_batch_max: u64,
@@ -1278,11 +1279,23 @@ impl Database {
     /// Flush all dirty pages, persist the name dictionary, and truncate the
     /// WAL (a checkpoint).
     pub fn checkpoint(&self) -> Result<()> {
+        // Safe truncation floor: the engine mutates pages before logging, so
+        // every record assigned up to here has its page effect in the pool
+        // before the flush below reads it — once the flush succeeds those
+        // effects are durable as page images. Records of still-active
+        // transactions must survive regardless (recovery may need their undo
+        // chain, and their commit may be staged concurrently), so the floor
+        // backs up to the oldest active Begin LSN.
+        let barrier = self.txns.wal().current_lsn() + 1;
+        let keep_from = self
+            .txns
+            .oldest_active_lsn()
+            .map_or(barrier, |lsn| lsn.min(barrier));
         let (sb, qb) = encode_dict(&self.dict);
         self.catalog.put(K_DICT_STRINGS, &sb)?;
         self.catalog.put(K_DICT_QNAMES, &qb)?;
         self.pool.flush_all()?;
-        self.txns.wal().checkpoint()?;
+        self.txns.wal().checkpoint(keep_from)?;
         Ok(())
     }
 }

@@ -403,15 +403,14 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Number of resident pages (for tests).
+    /// Number of resident pages (for tests). Takes the shard locks uncounted
+    /// so stats polling never inflates the contention counters it reports.
     pub fn resident(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| self.lock_shard(s).clock.len())
-            .sum()
+        self.shards.iter().map(|s| s.inner.lock().clock.len()).sum()
     }
 
     /// Per-shard counter snapshot (hits, misses, contention, resident).
+    /// Locks are uncounted here for the same reason as [`Self::resident`].
     pub fn shard_stats(&self) -> Vec<ShardStatsSnapshot> {
         self.shards
             .iter()
@@ -419,7 +418,7 @@ impl BufferPool {
                 hits: s.stats.hits.load(Ordering::Relaxed),
                 misses: s.stats.misses.load(Ordering::Relaxed),
                 contention: s.stats.contention.load(Ordering::Relaxed),
-                resident: self.lock_shard(s).clock.len() as u64,
+                resident: s.inner.lock().clock.len() as u64,
             })
             .collect()
     }

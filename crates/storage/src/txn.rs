@@ -49,6 +49,9 @@ impl UndoCtx<'_> {
 pub type UndoAction = Box<dyn FnOnce(&UndoCtx<'_>) -> Result<()> + Send>;
 
 struct TxnState {
+    /// LSN of the transaction's Begin record (the undo keep-floor a
+    /// checkpoint must not truncate past while the txn is in flight).
+    begin_lsn: Lsn,
     undo: Vec<UndoAction>,
 }
 
@@ -84,8 +87,14 @@ impl TxnManager {
     /// Begin a new transaction.
     pub fn begin(self: &Arc<Self>) -> Result<Txn> {
         let id = self.next.fetch_add(1, Ordering::AcqRel);
-        self.wal.log(&LogRecord::Begin { txn: id })?;
-        self.active.lock().insert(id, TxnState { undo: Vec::new() });
+        let begin_lsn = self.wal.log(&LogRecord::Begin { txn: id })?;
+        self.active.lock().insert(
+            id,
+            TxnState {
+                begin_lsn,
+                undo: Vec::new(),
+            },
+        );
         Ok(Txn {
             id,
             mgr: Arc::clone(self),
@@ -96,6 +105,13 @@ impl TxnManager {
     /// Number of in-flight transactions.
     pub fn active_count(&self) -> usize {
         self.active.lock().len()
+    }
+
+    /// Lowest Begin LSN among in-flight transactions — a checkpoint must not
+    /// truncate log records at or above this point, or recovery loses the
+    /// undo chain (and possibly the eventual commit) of a live transaction.
+    pub fn oldest_active_lsn(&self) -> Option<Lsn> {
+        self.active.lock().values().map(|s| s.begin_lsn).min()
     }
 
     fn finish(&self, id: TxnId) {

@@ -26,6 +26,36 @@ pub type Lsn = u64;
 /// Transaction identifier.
 pub type TxnId = u64;
 
+/// Encoding tag of [`LogRecord::Checkpoint`] (the first payload byte).
+const CHECKPOINT_TAG: u8 = 9;
+
+/// Bytes of framing before each record payload: `u32` payload length plus
+/// the record's `u64` LSN. Frames carry their LSN so a checkpoint can tell
+/// which physical records fall below its safe-truncation floor and which
+/// must be carried across, and so a reopened log can resume the sequence.
+const FRAME_HDR: usize = 12;
+
+fn push_frame(out: &mut Vec<u8>, lsn: Lsn, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&lsn.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Walk the framed records in a log image, yielding `(lsn, payload)` and
+/// stopping silently at a torn tail (a crash mid-append).
+fn walk_frames(buf: &[u8]) -> impl Iterator<Item = (Lsn, &[u8])> {
+    let mut p = 0usize;
+    std::iter::from_fn(move || {
+        let hdr = buf.get(p..p + FRAME_HDR)?;
+        let len = u32::from_le_bytes(hdr[..4].try_into().unwrap()) as usize;
+        let lsn = Lsn::from_le_bytes(hdr[4..].try_into().unwrap());
+        let start = p + FRAME_HDR;
+        let payload = buf.get(start..start + len)?;
+        p = start + len;
+        Some((lsn, payload))
+    })
+}
+
 /// A logical log record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[allow(missing_docs)] // variant fields are named self-descriptively
@@ -191,7 +221,7 @@ impl LogRecord {
                 put_bytes(out, key);
                 out.extend_from_slice(&value.to_le_bytes());
             }
-            LogRecord::Checkpoint => out.push(9),
+            LogRecord::Checkpoint => out.push(CHECKPOINT_TAG),
         }
     }
 
@@ -293,7 +323,7 @@ impl LogRecord {
                 key: c.bytes()?,
                 value: c.u64()?,
             },
-            9 => LogRecord::Checkpoint,
+            CHECKPOINT_TAG => LogRecord::Checkpoint,
             t => return Err(StorageError::WalCorrupt(format!("unknown record type {t}"))),
         })
     }
@@ -396,8 +426,9 @@ impl LogStore for MemLogStore {
 pub struct WalStatsSnapshot {
     /// Backend fsyncs issued by group-commit flush batches.
     pub fsyncs: u64,
-    /// `wait_durable` calls that actually had to wait for a flush (i.e.
-    /// commits that participated in a group).
+    /// `wait_durable` calls whose LSN was not already durable on arrival
+    /// (commits that joined a flush — as leader or waiter — rather than
+    /// returning immediately).
     pub group_commits: u64,
     /// Total records covered by all flush batches.
     pub batch_records_total: u64,
@@ -410,7 +441,7 @@ pub struct WalStatsSnapshot {
 pub struct WalStats {
     /// Backend fsyncs issued by flush batches.
     pub fsyncs: AtomicU64,
-    /// `wait_durable` calls that had to wait for a flush.
+    /// `wait_durable` calls whose LSN was not already durable on arrival.
     pub group_commits: AtomicU64,
     /// Total records covered by flush batches.
     pub batch_records_total: AtomicU64,
@@ -466,17 +497,28 @@ struct WalState {
 }
 
 impl Wal {
-    /// Wrap a log store.
+    /// Wrap a log store, resuming the LSN sequence of a previous
+    /// incarnation: frames carry their LSNs, so the highest one in the
+    /// existing image seeds the counter, and everything already in the
+    /// store counts as durable. An unreadable store surfaces its error on
+    /// first real use, not here.
     pub fn new(store: Arc<dyn LogStore>) -> Arc<Self> {
+        let (max_lsn, bytes) = match store.read_all() {
+            Ok(buf) => (
+                walk_frames(&buf).map(|(lsn, _)| lsn).max().unwrap_or(0),
+                buf.len() as u64,
+            ),
+            Err(_) => (0, 0),
+        };
         Arc::new(Wal {
             store,
             state: Mutex::new(WalState {
-                next_lsn: 1,
-                bytes_written: 0,
+                next_lsn: max_lsn + 1,
+                bytes_written: bytes,
                 staging: Vec::new(),
                 staged_records: 0,
                 flushing: false,
-                durable_lsn: 0,
+                durable_lsn: max_lsn,
             }),
             flushed: Condvar::new(),
             stats: WalStats::default(),
@@ -492,10 +534,8 @@ impl Wal {
         let mut st = self.state.lock();
         let lsn = st.next_lsn;
         st.next_lsn += 1;
-        st.bytes_written += payload.len() as u64 + 4;
-        st.staging
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        st.staging.extend_from_slice(&payload);
+        st.bytes_written += payload.len() as u64 + FRAME_HDR as u64;
+        push_frame(&mut st.staging, lsn, &payload);
         st.staged_records += 1;
         Ok(lsn)
     }
@@ -582,6 +622,11 @@ impl Wal {
         self.state.lock().durable_lsn
     }
 
+    /// Highest LSN assigned so far.
+    pub fn current_lsn(&self) -> Lsn {
+        self.state.lock().next_lsn - 1
+    }
+
     /// Number of assigned LSNs not yet durable (the replication-shipping
     /// watermark gap).
     pub fn durable_lag(&self) -> u64 {
@@ -636,53 +681,79 @@ impl Wal {
         self.drain_staging()?;
         let buf = self.store.read_all()?;
         let mut recs = Vec::new();
-        let mut p = 0usize;
-        while p + 4 <= buf.len() {
-            let len = u32::from_le_bytes(buf[p..p + 4].try_into().unwrap()) as usize;
-            p += 4;
-            if p + len > buf.len() {
-                // Torn tail from a crash mid-append: ignore the partial record.
-                break;
-            }
-            recs.push(LogRecord::decode(&buf[p..p + len])?);
-            p += len;
+        for (_lsn, payload) in walk_frames(&buf) {
+            recs.push(LogRecord::decode(payload)?);
         }
         Ok(recs)
     }
 
     /// Write a checkpoint record and truncate the log prefix, coordinating
-    /// with any in-flight group-commit flush. The caller must have flushed
-    /// all dirty pages first, which is also why discarding the staged (not
-    /// yet durable) records together with the truncated prefix is safe.
-    pub fn checkpoint(&self) -> Result<()> {
+    /// with any in-flight group-commit flush.
+    ///
+    /// The caller must have durably flushed every dirty page first and pass
+    /// `keep_from`: the lowest LSN whose effects are *not* guaranteed
+    /// durable on pages (in practice `min(oldest active transaction's Begin
+    /// LSN, highest assigned LSN at flush time + 1)`). Records below the
+    /// floor are truncated away; records at or above it — including
+    /// everything still in the staging buffer — are carried across the
+    /// truncation and fsynced together with the new checkpoint marker, so a
+    /// commit acknowledged by a concurrent `wait_durable` is never lost and
+    /// loser transactions keep their undo chain. `durable_lsn` advances to
+    /// the checkpoint LSN only once the carried image is on disk.
+    pub fn checkpoint(&self, keep_from: Lsn) -> Result<()> {
         let mut st = self.state.lock();
         while st.flushing {
             self.flushed.wait(&mut st);
         }
-        st.staging.clear();
-        st.staged_records = 0;
+        let staged = std::mem::take(&mut st.staging);
+        let staged_recs = std::mem::take(&mut st.staged_records);
         let mut payload = Vec::new();
         LogRecord::Checkpoint.encode(&mut payload);
-        let mut framed = Vec::with_capacity(payload.len() + 4);
-        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        framed.extend_from_slice(&payload);
         let ckpt_lsn = st.next_lsn;
         st.next_lsn += 1;
-        st.bytes_written += framed.len() as u64;
+        st.bytes_written += payload.len() as u64 + FRAME_HDR as u64;
         st.flushing = true;
         drop(st);
         let res = (|| {
+            let old = self.store.read_all()?;
+            let mut image = Vec::with_capacity(FRAME_HDR + payload.len() + staged.len());
+            push_frame(&mut image, ckpt_lsn, &payload);
+            // Carry every surviving record behind the new marker. Stale
+            // checkpoint markers are dropped so recovery's "start after the
+            // last marker" finds the one above and replays everything
+            // carried. File order stays LSN order: the old image was
+            // LSN-ordered (markers aside) and staged LSNs are above every
+            // stored one.
+            for (lsn, p) in walk_frames(&old).chain(walk_frames(&staged)) {
+                if lsn >= keep_from && p.first() != Some(&CHECKPOINT_TAG) {
+                    push_frame(&mut image, lsn, p);
+                }
+            }
             self.store.truncate()?;
-            self.store.append(&framed)?;
+            self.store.append(&image)?;
             self.store.flush()
         })();
         let mut st = self.state.lock();
         st.flushing = false;
-        if res.is_ok() {
-            // Everything at or below the checkpoint LSN is either truncated
-            // away or the (fsynced) checkpoint record itself. Records staged
-            // concurrently carry higher LSNs and are not covered.
-            st.durable_lsn = st.durable_lsn.max(ckpt_lsn);
+        match &res {
+            Ok(()) => {
+                // Every LSN <= ckpt_lsn is now either durable in the
+                // rewritten log or (below `keep_from`) durable as a flushed
+                // page image, so the watermark may cover the dropped records
+                // — and must cover the carried ones, whose committers are
+                // parked in wait_durable.
+                st.durable_lsn = st.durable_lsn.max(ckpt_lsn);
+            }
+            Err(_) => {
+                // The rewrite may or may not have reached the store; restage
+                // the staged batch so no record is lost in memory. Redo is
+                // idempotent, so a duplicate append after a partial rewrite
+                // is harmless.
+                let mut restored = staged;
+                restored.extend_from_slice(&st.staging);
+                st.staging = restored;
+                st.staged_records += staged_recs;
+            }
         }
         drop(st);
         self.flushed.notify_all();
@@ -737,6 +808,11 @@ pub fn recover(wal: &Wal, env: &RecoveryEnv) -> Result<RecoveryReport> {
             }
             LogRecord::Abort { txn } => {
                 aborted.insert(*txn);
+                // A Commit followed by an Abort happens when the commit's
+                // group flush failed and the session rolled back after being
+                // told the commit did not take: the abort is authoritative
+                // (its compensation records are replayed in order).
+                committed.remove(txn);
             }
             _ => {}
         }
@@ -1036,8 +1112,74 @@ mod tests {
         for i in 0..10 {
             wal.log(&LogRecord::Begin { txn: i }).unwrap();
         }
-        wal.checkpoint().unwrap();
+        // Keep floor above every assigned LSN: everything is truncated away.
+        wal.checkpoint(wal.current_lsn() + 1).unwrap();
         let recs = wal.read_records().unwrap();
         assert_eq!(recs, vec![LogRecord::Checkpoint]);
+    }
+
+    #[test]
+    fn checkpoint_carries_records_from_keep_floor() {
+        let wal = Wal::new(Arc::new(MemLogStore::new()));
+        wal.log(&LogRecord::Begin { txn: 1 }).unwrap();
+        let l = wal.log(&LogRecord::Commit { txn: 1 }).unwrap();
+        wal.wait_durable(l).unwrap();
+        let begin2 = wal.log(&LogRecord::Begin { txn: 2 }).unwrap();
+        let commit2 = wal.log(&LogRecord::Commit { txn: 2 }).unwrap();
+        // Txn 2's records are still staged; the checkpoint keeps from its
+        // Begin, so both must survive the truncation and become durable
+        // (a committer parked in wait_durable(commit2) gets a truthful ack).
+        wal.checkpoint(begin2).unwrap();
+        assert!(wal.durable_lsn() >= commit2);
+        let recs = wal.read_records().unwrap();
+        assert_eq!(
+            recs,
+            vec![
+                LogRecord::Checkpoint,
+                LogRecord::Begin { txn: 2 },
+                LogRecord::Commit { txn: 2 },
+            ]
+        );
+        // A second checkpoint with the same floor keeps exactly one marker.
+        wal.checkpoint(begin2).unwrap();
+        let recs = wal.read_records().unwrap();
+        assert_eq!(
+            recs.iter()
+                .filter(|r| matches!(r, LogRecord::Checkpoint))
+                .count(),
+            1
+        );
+        assert!(recs.contains(&LogRecord::Commit { txn: 2 }));
+    }
+
+    #[test]
+    fn lsn_sequence_resumes_across_reopen() {
+        let store = Arc::new(MemLogStore::new());
+        let last = {
+            let wal = Wal::new(store.clone());
+            wal.log(&LogRecord::Begin { txn: 1 }).unwrap();
+            let l = wal.log(&LogRecord::Commit { txn: 1 }).unwrap();
+            wal.wait_durable(l).unwrap();
+            l
+        };
+        let wal = Wal::new(store);
+        assert_eq!(wal.durable_lsn(), last);
+        assert_eq!(wal.durable_lag(), 0);
+        assert!(wal.log(&LogRecord::Begin { txn: 2 }).unwrap() > last);
+    }
+
+    #[test]
+    fn abort_after_commit_classifies_as_aborted() {
+        // A failed commit flush leaves a Commit record that a later batch
+        // flushes, followed by the rollback's Abort: recovery must treat the
+        // transaction as aborted, not redo it as a winner.
+        let wal = Wal::new(Arc::new(MemLogStore::new()));
+        wal.log(&LogRecord::Begin { txn: 1 }).unwrap();
+        wal.log(&LogRecord::Commit { txn: 1 }).unwrap();
+        wal.log(&LogRecord::Abort { txn: 1 }).unwrap();
+        wal.force().unwrap();
+        let report = recover(&wal, &RecoveryEnv::default()).unwrap();
+        assert_eq!(report.winners, 0);
+        assert_eq!(report.losers, 0);
     }
 }

@@ -259,16 +259,199 @@ fn checkpoint_coordinates_with_group_commit() {
             });
         }
         for _ in 0..20 {
-            wal.checkpoint().unwrap();
+            let barrier = wal.current_lsn() + 1;
+            let keep = txns.oldest_active_lsn().map_or(barrier, |l| l.min(barrier));
+            wal.checkpoint(keep).unwrap();
             std::thread::yield_now();
         }
         stop.store(true, Ordering::Relaxed);
     });
     // The log replays cleanly after heavy checkpoint/commit interleaving and
-    // ends with a consistent watermark.
+    // ends with a consistent watermark. Every transaction finished, so the
+    // surviving suffix must contain no losers — a Begin carried past a
+    // checkpoint must keep its Commit too.
+    let report = recover(&wal, &RecoveryEnv::default()).unwrap();
+    assert_eq!(report.losers, 0, "checkpoint orphaned a committed txn");
     let recs = wal.read_records().unwrap();
     assert!(recs
         .iter()
         .any(|r| matches!(r, LogRecord::Checkpoint | LogRecord::Commit { .. })));
     assert!(wal.durable_lsn() <= wal.records_written());
+}
+
+/// The review scenario for acked-commit loss: checkpoints race a storm of
+/// committers, then the process "crashes" without flushing pages. Every
+/// commit acknowledged before the crash must be readable after recovery —
+/// either from a page image the checkpoint flushed or from a log record the
+/// checkpoint carried across its truncation.
+#[test]
+fn acked_commits_survive_checkpoint_raced_with_commits() {
+    const WRITERS: u64 = 4;
+    const CHECKPOINTS: usize = 12;
+
+    let dir = tmpdir("ckpt-race");
+    let acked: Mutex<Vec<(rx_storage::Rid, Vec<u8>)>> = Mutex::new(Vec::new());
+    {
+        let pool = BufferPool::new(64);
+        let backend = Arc::new(FileBackend::open(&dir.join("space-1.dat")).unwrap());
+        let space = TableSpace::create(pool.clone(), SPACE, backend).unwrap();
+        let heap = HeapTable::create(space).unwrap();
+        pool.flush_all().unwrap();
+
+        let wal = Wal::new(Arc::new(FileLogStore::open(&dir.join("wal.log")).unwrap()));
+        let txns = TxnManager::new(Arc::clone(&wal), LockManager::with_defaults());
+        let stop = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            for owner in 0..WRITERS {
+                let txns = Arc::clone(&txns);
+                let heap = Arc::clone(&heap);
+                let (acked, stop) = (&acked, &stop);
+                s.spawn(move || {
+                    let mut seq = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let t = txns.begin().unwrap();
+                        let data = payload(owner, seq);
+                        let rid = heap.insert(&data).unwrap();
+                        t.log(&LogRecord::HeapInsert {
+                            txn: t.id(),
+                            space: SPACE,
+                            rid,
+                            data: data.clone(),
+                        })
+                        .unwrap();
+                        t.commit().unwrap();
+                        acked.lock().push((rid, data));
+                        seq += 1;
+                    }
+                });
+            }
+            // Checkpoint exactly as Database::checkpoint does: compute the
+            // keep floor, flush all pages, then truncate the log to it.
+            for _ in 0..CHECKPOINTS {
+                let barrier = wal.current_lsn() + 1;
+                let keep = txns.oldest_active_lsn().map_or(barrier, |l| l.min(barrier));
+                pool.flush_all().unwrap();
+                wal.checkpoint(keep).unwrap();
+                std::thread::yield_now();
+            }
+            // Make sure the writers actually raced the checkpoints.
+            while acked.lock().len() < 50 {
+                std::thread::yield_now();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        // "Crash": drop the pool without flushing dirty pages.
+    }
+
+    let pool = BufferPool::new(64);
+    let backend = Arc::new(FileBackend::open(&dir.join("space-1.dat")).unwrap());
+    let space = TableSpace::open(pool.clone(), SPACE, backend).unwrap();
+    let heap = HeapTable::open(space).unwrap();
+    let wal = Wal::new(Arc::new(FileLogStore::open(&dir.join("wal.log")).unwrap()));
+    let env = RecoveryEnv {
+        heaps: HashMap::from([(SPACE, Arc::clone(&heap))]),
+        ..Default::default()
+    };
+    let report = recover(&wal, &env).unwrap();
+    assert_eq!(report.losers, 0, "all transactions were acked: {report:?}");
+
+    let acked = acked.into_inner();
+    assert!(!acked.is_empty());
+    for (rid, data) in &acked {
+        let got = heap
+            .fetch(*rid)
+            .unwrap_or_else(|e| panic!("acked commit lost across checkpoint at {rid:?}: {e}"));
+        assert_eq!(&got, data, "acked commit corrupted at {rid:?}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A log store whose next append can be made to fail once, exercising the
+/// leader error path where the batch is restored to staging.
+#[derive(Default)]
+struct FailingAppendStore {
+    inner: MemLogStore,
+    fail_next: AtomicBool,
+}
+
+impl LogStore for FailingAppendStore {
+    fn append(&self, bytes: &[u8]) -> rx_storage::Result<()> {
+        if self.fail_next.swap(false, Ordering::AcqRel) {
+            return Err(StorageError::Catalog("injected append failure".into()));
+        }
+        self.inner.append(bytes)
+    }
+    fn flush(&self) -> rx_storage::Result<()> {
+        Ok(())
+    }
+    fn read_all(&self) -> rx_storage::Result<Vec<u8>> {
+        self.inner.read_all()
+    }
+    fn truncate(&self) -> rx_storage::Result<()> {
+        self.inner.truncate()
+    }
+}
+
+/// When a commit's group flush fails, the session is told the commit did not
+/// take and rolls back; the orphaned Commit record still reaches the log via
+/// a later batch. Recovery must honor the Abort, not redo the "commit".
+#[test]
+fn failed_commit_flush_recovers_as_aborted() {
+    let store = Arc::new(FailingAppendStore::default());
+    let wal = Wal::new(Arc::clone(&store) as Arc<dyn LogStore>);
+    let txns = TxnManager::new(Arc::clone(&wal), LockManager::with_defaults());
+
+    let pool = BufferPool::new(64);
+    let backend = Arc::new(rx_storage::MemBackend::new());
+    let space = TableSpace::create(pool, SPACE, backend).unwrap();
+    let heap = HeapTable::create(space).unwrap();
+
+    let data = b"doomed".to_vec();
+    let rid;
+    {
+        let t = txns.begin().unwrap();
+        rid = heap.insert(&data).unwrap();
+        t.log(&LogRecord::HeapInsert {
+            txn: t.id(),
+            space: SPACE,
+            rid,
+            data: data.clone(),
+        })
+        .unwrap();
+        let (heap, id, data) = (Arc::clone(&heap), t.id(), data.clone());
+        t.push_undo(Box::new(move |ctx| {
+            heap.delete(rid)?;
+            ctx.log(&LogRecord::HeapDelete {
+                txn: id,
+                space: SPACE,
+                rid,
+                before: data,
+            })?;
+            Ok(())
+        }));
+        store.fail_next.store(true, Ordering::Release);
+        // The leader's append fails: the committer is told the commit did
+        // not take, and the Drop-rollback undoes the insert, logging the
+        // compensation and an Abort (whose flush succeeds and carries the
+        // restored batch — including the orphaned Commit — with it).
+        assert!(t.commit().is_err());
+    }
+
+    // Crash-recover into a fresh heap: the transaction must replay as
+    // aborted, leaving no trace of the insert.
+    let pool = BufferPool::new(64);
+    let backend = Arc::new(rx_storage::MemBackend::new());
+    let space = TableSpace::create(pool, SPACE, backend).unwrap();
+    let fresh = HeapTable::create(space).unwrap();
+    let env = RecoveryEnv {
+        heaps: HashMap::from([(SPACE, Arc::clone(&fresh))]),
+        ..Default::default()
+    };
+    let report = recover(&wal, &env).unwrap();
+    assert_eq!(report.winners, 0, "failed commit counted as winner");
+    assert!(
+        matches!(fresh.fetch(rid), Err(StorageError::RecordNotFound { .. })),
+        "failed commit's insert survived recovery"
+    );
 }
