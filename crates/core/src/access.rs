@@ -18,6 +18,7 @@
 
 use crate::db::{BaseTable, XmlColumn};
 use crate::error::{EngineError, Result};
+use crate::executor::{CachedPlan, PlanCache, PlanKey, QueryExecutor};
 use crate::traverse::{IdEventSink, Traverser};
 use crate::validx::{IndexEntry, ValueIndex};
 use crate::xmltable::DocId;
@@ -29,7 +30,7 @@ use rx_xpath::ast::{Axis, CmpOp, Expr, Operand, Path, Step};
 use rx_xpath::containment::{classify, IndexMatch};
 use rx_xpath::quickxscan::QuickXScan;
 use rx_xpath::QueryTree;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -435,23 +436,123 @@ pub fn evaluate_document(
         .collect())
 }
 
+/// Evaluate `tree` over each doc of `docs` in order. `skip_missing` applies
+/// the locked path's semantics: a candidate gathered before its S lock was
+/// granted may have been deleted by a transaction that committed in between
+/// (the lock only guarantees we never see a *partial* document, not that the
+/// document still exists), so `NotFound` skips the doc instead of failing.
+fn evaluate_doc_list(
+    column: &XmlColumn,
+    dict: &NameDict,
+    tree: &QueryTree,
+    docs: &[DocId],
+    skip_missing: bool,
+    stats: &mut AccessStats,
+) -> Result<Vec<QueryHit>> {
+    let mut hits = Vec::new();
+    for &doc in docs {
+        match evaluate_document(column, dict, tree, doc, stats) {
+            Ok(h) => hits.extend(h),
+            Err(EngineError::NotFound { .. }) if skip_missing => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(hits)
+}
+
+/// Fan document evaluation across the executor's lanes. Contiguous
+/// partitions of the (document-ordered) candidate list keep per-partition
+/// results in document order, so concatenating them in partition order
+/// reproduces exactly the serial output; per-partition stats are summed.
+/// The first error in partition (= document) order propagates, matching the
+/// serial loop. Falls back to the serial loop when no executor is supplied
+/// or the batch is too small to split.
+fn evaluate_docs(
+    exec: Option<&QueryExecutor>,
+    column: &Arc<XmlColumn>,
+    dict: &Arc<NameDict>,
+    tree: &Arc<QueryTree>,
+    docs: Vec<DocId>,
+    skip_missing: bool,
+    stats: &mut AccessStats,
+) -> Result<Vec<QueryHit>> {
+    let lanes = exec.map_or(1, QueryExecutor::workers);
+    if lanes <= 1 || docs.len() <= 1 {
+        return evaluate_doc_list(column, dict, tree, &docs, skip_missing, stats);
+    }
+    let exec = exec.expect("lanes > 1 implies an executor");
+    let chunk = docs.len().div_ceil(lanes.min(docs.len()));
+    type PartResult = Result<(Vec<QueryHit>, AccessStats)>;
+    let mut tasks: Vec<Box<dyn FnOnce() -> PartResult + Send>> = Vec::new();
+    for slice in docs.chunks(chunk) {
+        let column = Arc::clone(column);
+        let dict = Arc::clone(dict);
+        let tree = Arc::clone(tree);
+        let part = slice.to_vec();
+        tasks.push(Box::new(move || {
+            let mut stats = AccessStats::default();
+            let hits = evaluate_doc_list(&column, &dict, &tree, &part, skip_missing, &mut stats)?;
+            Ok((hits, stats))
+        }));
+    }
+    let mut hits = Vec::new();
+    for r in exec.run_batch(tasks) {
+        let (h, s) = r?;
+        hits.extend(h);
+        stats.docs_evaluated += s.docs_evaluated;
+        stats.records_fetched += s.records_fetched;
+    }
+    Ok(hits)
+}
+
+/// True when hit node `n` equals, descends from, or is an ancestor of one of
+/// the `sorted` candidate anchors (all at exactly `anchor_depth` levels).
+/// Ancestry on Dewey IDs is a byte-prefix test, so both directions reduce to
+/// binary searches: a hit at or below the anchor depth has one possible
+/// anchor (its prefix truncated to `anchor_depth`), and a shallower hit's
+/// descendants form a contiguous byte-order run starting at its insertion
+/// point.
+fn anchor_listed(sorted: &[NodeId], n: &NodeId, anchor_depth: usize) -> bool {
+    match ancestor_at_depth(n, anchor_depth) {
+        Some(a) => sorted
+            .binary_search_by(|c| c.as_bytes().cmp(a.as_bytes()))
+            .is_ok(),
+        None => {
+            let i = sorted.partition_point(|c| c.as_bytes() < n.as_bytes());
+            sorted.get(i).is_some_and(|c| n.is_ancestor_or_self(c))
+        }
+    }
+}
+
 /// Execute a plan. `table` supplies the document population for scans.
+/// Compiles the tree once; use [`execute_tree`] to reuse a compiled tree
+/// (e.g. from the plan cache) or to run in parallel.
 pub fn execute(
     plan: &AccessPlan,
     table: &Arc<BaseTable>,
-    column: &XmlColumn,
-    dict: &NameDict,
+    column: &Arc<XmlColumn>,
+    dict: &Arc<NameDict>,
     path: &Path,
 ) -> Result<(Vec<QueryHit>, AccessStats)> {
-    let tree = QueryTree::compile(path)?;
+    let tree = Arc::new(QueryTree::compile(path)?);
+    execute_tree(plan, table, column, dict, &tree, None)
+}
+
+/// Execute a plan with an already-compiled tree, optionally fanning
+/// candidate-document evaluation across `exec`'s worker lanes.
+pub fn execute_tree(
+    plan: &AccessPlan,
+    table: &Arc<BaseTable>,
+    column: &Arc<XmlColumn>,
+    dict: &Arc<NameDict>,
+    tree: &Arc<QueryTree>,
+    exec: Option<&QueryExecutor>,
+) -> Result<(Vec<QueryHit>, AccessStats)> {
     let mut stats = AccessStats::default();
     match plan {
         AccessPlan::FullScan => {
-            let mut hits = Vec::new();
             let docs = all_docids(table)?;
-            for doc in docs {
-                hits.extend(evaluate_document(column, dict, &tree, doc, &mut stats)?);
-            }
+            let hits = evaluate_docs(exec, column, dict, tree, docs, false, &mut stats)?;
             Ok((hits, stats))
         }
         AccessPlan::Index {
@@ -478,12 +579,9 @@ pub fn execute(
                         .iter()
                         .map(|es| es.iter().map(|e| e.doc).collect())
                         .collect();
-                    let docs = combine_sets(sets, *combine);
+                    let docs: Vec<DocId> = combine_sets(sets, *combine).into_iter().collect();
                     stats.candidates = docs.len() as u64;
-                    let mut hits = Vec::new();
-                    for doc in docs {
-                        hits.extend(evaluate_document(column, dict, &tree, doc, &mut stats)?);
-                    }
+                    let hits = evaluate_docs(exec, column, dict, tree, docs, false, &mut stats)?;
                     Ok((hits, stats))
                 }
                 Granularity::NodeId => {
@@ -518,29 +616,67 @@ pub fn execute(
                     }
                     // Verify per candidate *document* but only documents that
                     // have candidates; node-level pre-filtering already cut
-                    // the verification set.
-                    let docs: BTreeSet<DocId> = nodes.iter().map(|(d, _)| *d).collect();
-                    let mut hits = Vec::new();
-                    for doc in docs {
-                        let doc_hits = evaluate_document(column, dict, &tree, doc, &mut stats)?;
-                        // Keep only hits whose anchor candidate was listed.
-                        for h in doc_hits {
-                            let keep = match &h.node {
-                                Some(n) => nodes.iter().any(|(d, c)| {
-                                    *d == doc && (c == n || c.is_ancestor(n) || n.is_ancestor(c))
-                                }),
-                                None => true,
-                            };
-                            if keep {
-                                hits.push(h);
-                            }
+                    // the verification set. Group anchors per document —
+                    // `nodes` iterates in (doc, node) order, so each doc's
+                    // anchor list arrives already byte-sorted and the filter
+                    // below is a binary search instead of a rescan of the
+                    // full candidate list per hit.
+                    let mut anchors: HashMap<DocId, Vec<NodeId>> = HashMap::new();
+                    let mut docs: Vec<DocId> = Vec::new();
+                    for (d, n) in &nodes {
+                        if docs.last() != Some(d) {
+                            docs.push(*d);
                         }
+                        anchors.entry(*d).or_default().push(n.clone());
                     }
+                    let all = evaluate_docs(exec, column, dict, tree, docs, false, &mut stats)?;
+                    // Keep only hits whose anchor candidate was listed.
+                    let hits = all
+                        .into_iter()
+                        .filter(|h| match &h.node {
+                            Some(n) => anchors
+                                .get(&h.doc)
+                                .is_some_and(|set| anchor_listed(set, n, *anchor_depth)),
+                            None => true,
+                        })
+                        .collect();
                     Ok((hits, stats))
                 }
             }
         }
     }
+}
+
+/// Compile + plan a query exactly once, through `cache` when one is given.
+/// The cache key is `(table id, column, canonical path text, prefer_nodeid)`
+/// so differently written but identical queries share an entry; a miss
+/// compiles outside the cache lock and publishes the result.
+pub fn prepare(
+    cache: Option<&PlanCache>,
+    table: &Arc<BaseTable>,
+    column: &Arc<XmlColumn>,
+    path: &Path,
+    prefer_nodeid: bool,
+) -> Result<Arc<CachedPlan>> {
+    let key = cache.map(|_| PlanKey {
+        table: table.def.id,
+        column: column.name.clone(),
+        path: path.to_string(),
+        prefer_nodeid,
+    });
+    if let (Some(c), Some(k)) = (cache, &key) {
+        if let Some(p) = c.get(k) {
+            return Ok(p);
+        }
+    }
+    let compiled = Arc::new(CachedPlan {
+        tree: Arc::new(QueryTree::compile(path)?),
+        plan: Arc::new(plan(path, column, prefer_nodeid)),
+    });
+    if let (Some(c), Some(k)) = (cache, key) {
+        c.insert(k, Arc::clone(&compiled));
+    }
+    Ok(compiled)
 }
 
 /// Plan + execute under the §5.1 DocID-locking protocol: IS on the table,
@@ -552,8 +688,27 @@ pub fn execute(
 pub fn run_query_locked(
     txn: &rx_storage::Txn,
     table: &Arc<BaseTable>,
-    column: &XmlColumn,
-    dict: &NameDict,
+    column: &Arc<XmlColumn>,
+    dict: &Arc<NameDict>,
+    path: &Path,
+    prefer_nodeid: bool,
+) -> Result<(Vec<QueryHit>, AccessStats)> {
+    run_query_locked_with(None, None, txn, table, column, dict, path, prefer_nodeid)
+}
+
+/// [`run_query_locked`] with a worker pool and plan cache. Every candidate's
+/// S lock is acquired, in document order, *before* evaluation fans out, so
+/// the locking protocol is byte-for-byte the serial one; workers only read
+/// documents the transaction already holds locks on. A lock timeout aborts
+/// the whole query before any fan-out happens.
+#[allow(clippy::too_many_arguments)]
+pub fn run_query_locked_with(
+    exec: Option<&QueryExecutor>,
+    cache: Option<&PlanCache>,
+    txn: &rx_storage::Txn,
+    table: &Arc<BaseTable>,
+    column: &Arc<XmlColumn>,
+    dict: &Arc<NameDict>,
     path: &Path,
     prefer_nodeid: bool,
 ) -> Result<(Vec<QueryHit>, AccessStats)> {
@@ -561,12 +716,11 @@ pub fn run_query_locked(
         &rx_storage::LockName::Table(table.def.id),
         rx_storage::LockMode::IS,
     )?;
-    let plan = plan(path, column, prefer_nodeid);
+    let prepared = prepare(cache, table, column, path, prefer_nodeid)?;
     // Gather candidate documents first (index scans read only index pages),
-    // then lock + evaluate each.
-    let tree = QueryTree::compile(path)?;
+    // then lock all of them, then evaluate.
     let mut stats = AccessStats::default();
-    let docs: Vec<DocId> = match &plan {
+    let docs: Vec<DocId> = match prepared.plan.as_ref() {
         AccessPlan::FullScan => all_docids(table)?,
         AccessPlan::Index { terms, combine, .. } => {
             let mut sets: Vec<BTreeSet<DocId>> = Vec::with_capacity(terms.len());
@@ -582,8 +736,7 @@ pub fn run_query_locked(
         }
     };
     stats.candidates = docs.len() as u64;
-    let mut hits = Vec::new();
-    for doc in docs {
+    for &doc in &docs {
         txn.lock(
             &rx_storage::LockName::Document {
                 table: table.def.id,
@@ -591,30 +744,35 @@ pub fn run_query_locked(
             },
             rx_storage::LockMode::S,
         )?;
-        match evaluate_document(column, dict, &tree, doc, &mut stats) {
-            Ok(h) => hits.extend(h),
-            // A candidate gathered before its S lock was granted may have
-            // been deleted by a transaction that committed in between; the
-            // lock only guarantees we never see a *partial* document, not
-            // that the document still exists. Skip it.
-            Err(EngineError::NotFound { .. }) => continue,
-            Err(e) => return Err(e),
-        }
     }
+    let hits = evaluate_docs(exec, column, dict, &prepared.tree, docs, true, &mut stats)?;
     Ok((hits, stats))
 }
 
-/// Convenience: plan + execute in one call.
+/// Convenience: plan + execute in one call (serial, uncached).
 pub fn run_query(
     table: &Arc<BaseTable>,
-    column: &XmlColumn,
-    dict: &NameDict,
+    column: &Arc<XmlColumn>,
+    dict: &Arc<NameDict>,
     path: &Path,
     prefer_nodeid: bool,
 ) -> Result<(Vec<QueryHit>, AccessStats, String)> {
-    let p = plan(path, column, prefer_nodeid);
-    let explain = p.explain();
-    let (hits, stats) = execute(&p, table, column, dict, path)?;
+    run_query_with(None, None, table, column, dict, path, prefer_nodeid)
+}
+
+/// [`run_query`] with a worker pool and plan cache.
+pub fn run_query_with(
+    exec: Option<&QueryExecutor>,
+    cache: Option<&PlanCache>,
+    table: &Arc<BaseTable>,
+    column: &Arc<XmlColumn>,
+    dict: &Arc<NameDict>,
+    path: &Path,
+    prefer_nodeid: bool,
+) -> Result<(Vec<QueryHit>, AccessStats, String)> {
+    let prepared = prepare(cache, table, column, path, prefer_nodeid)?;
+    let explain = prepared.plan.explain();
+    let (hits, stats) = execute_tree(&prepared.plan, table, column, dict, &prepared.tree, exec)?;
     Ok((hits, stats, explain))
 }
 
@@ -863,6 +1021,79 @@ mod tests {
             &[0x02, 0x04, 0x03, 0x02][..]
         );
         assert!(ancestor_at_depth(&n, 5).is_none());
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial() {
+        let (db, t) = setup();
+        let col = t.xml_column("doc").unwrap();
+        let exec = QueryExecutor::new(4);
+        let queries = [
+            "/Catalog/Categories/Product",
+            "/Catalog/Categories/Product[RegPrice > 100]",
+            "/Catalog/Categories/Product[Discount > 0.15]",
+            "/Catalog/Categories/Product[RegPrice > 100 and Discount > 0.15]",
+        ];
+        for qs in queries {
+            let path = q(qs);
+            for prefer_nodeid in [false, true] {
+                let p = plan(&path, col, prefer_nodeid);
+                let tree = Arc::new(QueryTree::compile(&path).unwrap());
+                let (serial, sstats) = execute_tree(&p, &t, col, db.dict(), &tree, None).unwrap();
+                let (par, pstats) =
+                    execute_tree(&p, &t, col, db.dict(), &tree, Some(&exec)).unwrap();
+                // Same hits in the same (document) order, same work counters.
+                assert_eq!(par, serial, "query {qs} nodeid={prefer_nodeid}");
+                assert_eq!(pstats, sstats, "query {qs} nodeid={prefer_nodeid}");
+            }
+        }
+        assert!(exec.parallel_queries() > 0);
+    }
+
+    #[test]
+    fn parallel_evaluation_skips_deleted_docs_only_when_asked() {
+        let (db, t) = setup();
+        let col = t.xml_column("doc").unwrap();
+        let exec = QueryExecutor::new(4);
+        let path = q("/Catalog/Categories/Product/ProductName");
+        let tree = Arc::new(QueryTree::compile(&path).unwrap());
+        let mut docs = all_docids(&t).unwrap();
+        let victim = docs[docs.len() / 2];
+        assert!(db.delete_row(&t, victim).unwrap());
+        // The stale candidate list still names the deleted doc (the locked
+        // path hits this when a delete commits between gather and lock).
+        let err = evaluate_docs(
+            Some(&exec),
+            col,
+            db.dict(),
+            &tree,
+            docs.clone(),
+            false,
+            &mut AccessStats::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::NotFound { .. }));
+        let mut stats = AccessStats::default();
+        let hits = evaluate_docs(
+            Some(&exec),
+            col,
+            db.dict(),
+            &tree,
+            docs.clone(),
+            true,
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(hits.len(), 19);
+        assert!(hits.iter().all(|h| h.doc != victim));
+        assert_eq!(stats.docs_evaluated, 19);
+        // Serial agrees.
+        docs.retain(|&d| d != victim);
+        let mut serial_stats = AccessStats::default();
+        let serial =
+            evaluate_docs(None, col, db.dict(), &tree, docs, false, &mut serial_stats).unwrap();
+        assert_eq!(hits, serial);
+        assert_eq!(stats.docs_evaluated, serial_stats.docs_evaluated);
     }
 }
 

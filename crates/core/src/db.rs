@@ -50,6 +50,12 @@ pub struct DbConfig {
     pub target_record_size: usize,
     /// Lock wait timeout.
     pub lock_timeout: Duration,
+    /// Query-executor lanes: how many candidate-document partitions a single
+    /// query may evaluate concurrently. 1 disables intra-query parallelism.
+    pub query_workers: usize,
+    /// Plan-cache capacity in entries (compiled `QueryTree` + `AccessPlan`
+    /// per distinct query). 0 disables the cache.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for DbConfig {
@@ -58,6 +64,8 @@ impl Default for DbConfig {
             buffer_pages: 4096,
             target_record_size: crate::pack::DEFAULT_TARGET_RECORD,
             lock_timeout: Duration::from_secs(2),
+            query_workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            plan_cache_capacity: 128,
         }
     }
 }
@@ -82,6 +90,11 @@ impl DbConfig {
         if self.lock_timeout.is_zero() {
             return Err(EngineError::Invalid(
                 "lock_timeout must be positive".to_string(),
+            ));
+        }
+        if self.query_workers == 0 {
+            return Err(EngineError::Invalid(
+                "query_workers must be positive (1 disables parallelism)".to_string(),
             ));
         }
         Ok(())
@@ -131,6 +144,16 @@ pub struct DbStats {
     pub lock_deadlocks: u64,
     /// Transactions currently active.
     pub active_txns: u64,
+    /// Query-executor lanes configured (`DbConfig::query_workers`).
+    pub query_workers: u64,
+    /// Queries whose candidate evaluation actually fanned out across lanes.
+    pub parallel_queries: u64,
+    /// Plan-cache lookups that found a compiled plan.
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that compiled afresh.
+    pub plan_cache_misses: u64,
+    /// Compiled plans currently cached.
+    pub plan_cache_entries: u64,
 }
 
 /// Column kinds of a base table.
@@ -334,6 +357,8 @@ pub struct Database {
     schemas: RwLock<HashMap<String, Arc<SchemaProgram>>>,
     /// (strings, qnames) counts last persisted to the catalog.
     dict_persisted: parking_lot::Mutex<(usize, usize)>,
+    executor: crate::executor::QueryExecutor,
+    plan_cache: crate::executor::PlanCache,
 }
 
 impl Database {
@@ -378,6 +403,8 @@ impl Database {
         };
         let locks = LockManager::new(config.lock_timeout);
         let txns = TxnManager::new(wal, locks);
+        let executor = crate::executor::QueryExecutor::new(config.query_workers);
+        let plan_cache = crate::executor::PlanCache::new(config.plan_cache_capacity);
         Ok(Arc::new(Database {
             config,
             storage,
@@ -388,6 +415,8 @@ impl Database {
             tables: RwLock::new(HashMap::new()),
             schemas: RwLock::new(HashMap::new()),
             dict_persisted: parking_lot::Mutex::new((1, 0)),
+            executor,
+            plan_cache,
         }))
     }
 
@@ -412,6 +441,8 @@ impl Database {
         let wal = Wal::new(Arc::new(FileLogStore::open(&dir.join("wal.log"))?));
         let locks = LockManager::new(config.lock_timeout);
         let txns = TxnManager::new(wal, locks);
+        let executor = crate::executor::QueryExecutor::new(config.query_workers);
+        let plan_cache = crate::executor::PlanCache::new(config.plan_cache_capacity);
         let db = Arc::new(Database {
             config,
             storage,
@@ -422,6 +453,8 @@ impl Database {
             tables: RwLock::new(HashMap::new()),
             schemas: RwLock::new(HashMap::new()),
             dict_persisted: parking_lot::Mutex::new((0, 0)),
+            executor,
+            plan_cache,
         });
         // Load all tables so recovery can reach every space.
         let mut env = RecoveryEnv::default();
@@ -509,6 +542,62 @@ impl Database {
         Ok(self.txns.begin()?)
     }
 
+    /// The shared query worker pool.
+    pub fn executor(&self) -> &crate::executor::QueryExecutor {
+        &self.executor
+    }
+
+    /// The shared query-plan cache.
+    pub fn plan_cache(&self) -> &crate::executor::PlanCache {
+        &self.plan_cache
+    }
+
+    /// Plan + execute an XPath query over `column`, through the plan cache
+    /// and the worker pool. Returns `(hits, stats, explain)`.
+    pub fn query(
+        &self,
+        table: &Arc<BaseTable>,
+        column: &Arc<XmlColumn>,
+        path: &rx_xpath::Path,
+        prefer_nodeid: bool,
+    ) -> Result<(
+        Vec<crate::access::QueryHit>,
+        crate::access::AccessStats,
+        String,
+    )> {
+        crate::access::run_query_with(
+            Some(&self.executor),
+            Some(&self.plan_cache),
+            table,
+            column,
+            &self.dict,
+            path,
+            prefer_nodeid,
+        )
+    }
+
+    /// [`Database::query`] under the §5.1 DocID-locking protocol: all
+    /// candidate S locks are taken in `txn` before evaluation fans out.
+    pub fn query_locked(
+        &self,
+        txn: &Txn,
+        table: &Arc<BaseTable>,
+        column: &Arc<XmlColumn>,
+        path: &rx_xpath::Path,
+        prefer_nodeid: bool,
+    ) -> Result<(Vec<crate::access::QueryHit>, crate::access::AccessStats)> {
+        crate::access::run_query_locked_with(
+            Some(&self.executor),
+            Some(&self.plan_cache),
+            txn,
+            table,
+            column,
+            &self.dict,
+            path,
+            prefer_nodeid,
+        )
+    }
+
     /// Snapshot the engine's internal counters. Cheap (a few atomic loads
     /// and two short mutex holds) — safe to call from a stats endpoint on
     /// every request.
@@ -541,6 +630,11 @@ impl Database {
             lock_timeouts,
             lock_deadlocks,
             active_txns: self.txns.active_count() as u64,
+            query_workers: self.executor.workers() as u64,
+            parallel_queries: self.executor.parallel_queries(),
+            plan_cache_hits: self.plan_cache.hits(),
+            plan_cache_misses: self.plan_cache.misses(),
+            plan_cache_entries: self.plan_cache.len() as u64,
         }
     }
 
@@ -751,6 +845,37 @@ impl Database {
         self.load_table(name)
     }
 
+    /// Drop a base table: remove its definition, index definitions, and doc
+    /// counter from the catalog, evict it from the table map, and invalidate
+    /// every cached plan that compiled against it. The table's spaces are
+    /// abandoned rather than reclaimed (recovery skips WAL records whose
+    /// space is no longer reachable from the catalog).
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let t = self.load_table(name)?;
+        let index_keys: Vec<Vec<u8>> = self
+            .catalog
+            .list_prefix(&k_index(name, ""))
+            .into_iter()
+            .map(|(k, _)| k)
+            .chain(
+                self.catalog
+                    .list_prefix(&k_ft_index(name, ""))
+                    .into_iter()
+                    .map(|(k, _)| k),
+            )
+            .collect();
+        for key in index_keys {
+            self.catalog.delete(&key)?;
+        }
+        self.catalog.delete(&k_table(name))?;
+        self.catalog.delete(&k_doccnt(t.def.id))?;
+        self.tables.write().remove(name);
+        self.plan_cache.invalidate_table(t.def.id);
+        // DDL is durable immediately.
+        self.pool.flush_all()?;
+        Ok(())
+    }
+
     // -- value indexes --------------------------------------------------------
 
     /// `CREATE INDEX … ON table(column) GENERATE KEY USING XPATH 'path' AS type`
@@ -788,6 +913,8 @@ impl Database {
         self.catalog
             .put(&k_index(table, index_name), &e.into_bytes())?;
         col.indexes.write().push(Arc::clone(&vi));
+        // Cached plans chose their access path before this index existed.
+        self.plan_cache.invalidate_table(t.def.id);
         self.pool.flush_all()?;
         Ok(vi)
     }
@@ -825,6 +952,8 @@ impl Database {
         self.catalog
             .put(&k_ft_index(table, index_name), &e.into_bytes())?;
         col.ft_indexes.write().push(Arc::clone(&fti));
+        // Cached plans chose their access path before this index existed.
+        self.plan_cache.invalidate_table(t.def.id);
         self.pool.flush_all()?;
         Ok(fti)
     }
@@ -1376,7 +1505,103 @@ mod tests {
             Database::create_in_memory_with(bad_record),
             Err(EngineError::Invalid(_))
         ));
+        let bad_workers = DbConfig {
+            query_workers: 0,
+            ..DbConfig::default()
+        };
+        assert!(matches!(
+            Database::create_in_memory_with(bad_workers),
+            Err(EngineError::Invalid(_))
+        ));
         assert!(DbConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn plan_cache_serves_repeats_and_invalidates_on_ddl() {
+        let db = Database::create_in_memory().unwrap();
+        let t = catalog_table(&db);
+        db.create_value_index(
+            "products",
+            "price_idx",
+            "doc",
+            "/Catalog/Product/RegPrice",
+            KeyType::Double,
+        )
+        .unwrap();
+        for doc in [DOC1, DOC2] {
+            db.insert_row(
+                &t,
+                &[ColValue::Str("s".into()), ColValue::Xml(doc.to_string())],
+            )
+            .unwrap();
+        }
+        let col = t.xml_column("doc").unwrap();
+        let path = rx_xpath::XPathParser::new()
+            .parse("/Catalog/Product[RegPrice > 50]")
+            .unwrap();
+        let (hits, _, explain) = db.query(&t, col, &path, false).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(explain.contains("list access"), "got plan: {explain}");
+        let (again, _, _) = db.query(&t, col, &path, false).unwrap();
+        assert_eq!(again, hits);
+        let s = db.stats();
+        assert_eq!(s.plan_cache_misses, 1);
+        assert_eq!(s.plan_cache_hits, 1);
+        assert_eq!(s.plan_cache_entries, 1);
+        assert_eq!(s.query_workers, db.config.query_workers as u64);
+        // Index DDL drops every cached plan for the table: a plan chosen
+        // under the old index set may no longer be the right one.
+        db.create_fulltext_index("products", "name_ft", "doc", "/Catalog/Product/ProductName")
+            .unwrap();
+        let s = db.stats();
+        assert_eq!(s.plan_cache_entries, 0);
+        let (replanned, _, _) = db.query(&t, col, &path, false).unwrap();
+        assert_eq!(replanned, hits);
+        assert_eq!(db.stats().plan_cache_misses, 2);
+    }
+
+    #[test]
+    fn drop_table_removes_definition_and_cached_plans() {
+        let db = Database::create_in_memory().unwrap();
+        let t = catalog_table(&db);
+        db.create_value_index(
+            "products",
+            "price_idx",
+            "doc",
+            "/Catalog/Product/RegPrice",
+            KeyType::Double,
+        )
+        .unwrap();
+        db.insert_row(
+            &t,
+            &[ColValue::Str("a".into()), ColValue::Xml(DOC1.to_string())],
+        )
+        .unwrap();
+        let col = t.xml_column("doc").unwrap();
+        let path = rx_xpath::XPathParser::new().parse("/Catalog").unwrap();
+        db.query(&t, col, &path, false).unwrap();
+        assert_eq!(db.stats().plan_cache_entries, 1);
+        db.drop_table("products").unwrap();
+        assert_eq!(db.stats().plan_cache_entries, 0);
+        assert!(matches!(
+            db.table("products"),
+            Err(EngineError::NotFound { .. })
+        ));
+        // The name (and its index names) are free again, and the fresh
+        // table starts empty.
+        let t2 = catalog_table(&db);
+        db.create_value_index(
+            "products",
+            "price_idx",
+            "doc",
+            "/Catalog/Product/RegPrice",
+            KeyType::Double,
+        )
+        .unwrap();
+        let (hits, _, _) = db
+            .query(&t2, t2.xml_column("doc").unwrap(), &path, false)
+            .unwrap();
+        assert!(hits.is_empty());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! * [`runtime`] — virtual-SAX runtime, XML handles, sequences (§4.4, Fig. 8);
 //! * [`conc`] / [`mvcc`] — DocID locking, node-prefix multi-granularity
 //!   locking, and document multiversioning (§5);
+//! * [`executor`] — the shared query worker pool and plan cache;
 //! * [`db`] — the database façade (tables, columns, schemas, recovery);
 //! * [`sqlxml`] — the SQL/XML statement layer (§2);
 //! * [`shred`] / [`lob`] — the one-node-per-row and LOB storage **baselines**
@@ -34,6 +35,7 @@ pub mod conc;
 pub mod construct;
 pub mod db;
 pub mod error;
+pub mod executor;
 pub mod fulltext;
 pub mod lob;
 pub mod mvcc;
@@ -52,5 +54,6 @@ pub use db::{
     BaseTable, ColValue, ColumnKind, Database, DbConfig, DbStats, Row, Storage, XmlColumn,
 };
 pub use error::{EngineError, Result};
+pub use executor::{PlanCache, QueryExecutor};
 pub use sqlxml::{Output, Session};
 pub use xmltable::{DocId, XmlTable};

@@ -715,7 +715,7 @@ impl P {
                 let p = access::plan(&path, col, s.prefer_nodeid);
                 return Ok(Output::Explain(p.explain()));
             }
-            let (hits, _, _) = access::run_query(&table, col, dict, &path, s.prefer_nodeid)?;
+            let (hits, _, _) = s.db.query(&table, col, &path, s.prefer_nodeid)?;
             Ok(Output::Sequence(hits))
         };
 
@@ -740,7 +740,7 @@ impl P {
                 }
                 let col = Self::xml_column_of(&table, None)?;
                 let path = XPathParser::new().parse(&xp)?;
-                let (hits, _, _) = access::run_query(&table, col, dict, &path, s.prefer_nodeid)?;
+                let (hits, _, _) = s.db.query(&table, col, &path, s.prefer_nodeid)?;
                 let mut docs: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
                 docs.sort_unstable();
                 docs.dedup();
@@ -823,7 +823,7 @@ impl P {
             (Proj::Serialize { .. }, Filter::Exists(xp)) => {
                 let col = Self::xml_column_of(&table, None)?;
                 let path = XPathParser::new().parse(&xp)?;
-                let (hits, _, _) = access::run_query(&table, col, dict, &path, s.prefer_nodeid)?;
+                let (hits, _, _) = s.db.query(&table, col, &path, s.prefer_nodeid)?;
                 let mut docs: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
                 docs.sort_unstable();
                 docs.dedup();
@@ -913,8 +913,7 @@ impl P {
             Filter::Exists(xp) => {
                 let col = Self::xml_column_of(table, None)?;
                 let path = XPathParser::new().parse(xp)?;
-                let (hits, _, _) =
-                    access::run_query(table, col, s.db.dict(), &path, prefer_nodeid)?;
+                let (hits, _, _) = s.db.query(table, col, &path, prefer_nodeid)?;
                 let mut docs: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
                 docs.sort_unstable();
                 docs.dedup();

@@ -20,7 +20,7 @@ use crate::proto::{read_frame, write_frame, ErrorCode, Hit, Request, Response, W
 use crate::session::{SessionError, SessionManager};
 use crate::stats::{ReqClass, ServerCounters, StatsSnapshot};
 use parking_lot::{Condvar, Mutex};
-use rx_engine::{access, Database, EngineError};
+use rx_engine::{Database, EngineError};
 use rx_xpath::XPathParser;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -412,7 +412,7 @@ fn handle_request(inner: &Inner, session: u64, req: Request) -> Response {
                 let t = db.table(&table)?;
                 let col = t.xml_column(&column)?;
                 let p = XPathParser::new().parse(&path)?;
-                let (hits, _stats) = access::run_query_locked(txn, &t, col, db.dict(), &p, false)?;
+                let (hits, _stats) = db.query_locked(txn, &t, col, &p, false)?;
                 Ok(hits
                     .into_iter()
                     .map(|h| Hit {

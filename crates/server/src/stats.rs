@@ -191,7 +191,12 @@ impl StatsSnapshot {
             .u64(d.lock_waits)
             .u64(d.lock_timeouts)
             .u64(d.lock_deadlocks)
-            .u64(d.active_txns);
+            .u64(d.active_txns)
+            .u64(d.query_workers)
+            .u64(d.parallel_queries)
+            .u64(d.plan_cache_hits)
+            .u64(d.plan_cache_misses)
+            .u64(d.plan_cache_entries);
     }
 
     /// Decode the wire encoding.
@@ -234,6 +239,11 @@ impl StatsSnapshot {
         db.lock_timeouts = next()?;
         db.lock_deadlocks = next()?;
         db.active_txns = next()?;
+        db.query_workers = next()?;
+        db.parallel_queries = next()?;
+        db.plan_cache_hits = next()?;
+        db.plan_cache_misses = next()?;
+        db.plan_cache_entries = next()?;
         Ok(s)
     }
 }
@@ -283,6 +293,11 @@ mod tests {
         s.db.wal_durable_lag = 1;
         s.db.buffer_shards = 16;
         s.db.buffer_contention = 7;
+        s.db.query_workers = 8;
+        s.db.parallel_queries = 21;
+        s.db.plan_cache_hits = 30;
+        s.db.plan_cache_misses = 4;
+        s.db.plan_cache_entries = 4;
         let mut e = Enc::new();
         s.encode(&mut e);
         let bytes = e.into_bytes();

@@ -45,13 +45,16 @@ fn main() {
     }
     writer.commit().unwrap();
 
-    // Client two queries concurrently over its own connection.
+    // Client two queries concurrently over its own connection. The second
+    // run of the same path is served from the plan cache.
     let mut reader = connect_tcp(addr).expect("connect reader");
     let hits = reader.query("orders", "doc", "/order/total").unwrap();
     println!("reader: {} orders, totals:", hits.len());
     for hit in &hits {
         println!("  doc {} -> {}", hit.doc, hit.value);
     }
+    let again = reader.query("orders", "doc", "/order/total").unwrap();
+    assert_eq!(again.len(), hits.len());
 
     // The admin stats surface: server counters plus engine counters.
     let stats = reader.stats().unwrap();
@@ -96,6 +99,14 @@ fn main() {
     println!(
         "lock waits/timeouts/deadlocks: {}/{}/{}",
         stats.db.lock_waits, stats.db.lock_timeouts, stats.db.lock_deadlocks
+    );
+    println!(
+        "query executor: {} workers, {} parallel queries",
+        stats.db.query_workers, stats.db.parallel_queries
+    );
+    println!(
+        "plan cache: {} hits / {} misses, {} entries",
+        stats.db.plan_cache_hits, stats.db.plan_cache_misses, stats.db.plan_cache_entries
     );
 
     server.shutdown();
