@@ -1,16 +1,39 @@
-//! A blocking client generic over the byte stream, so TCP connections and
-//! the in-process channel transport share one implementation.
+//! The client side of the wire protocol: a shared [`Connection`] that
+//! multiplexes many concurrent [`Session`]s over one byte stream, and the
+//! blocking [`Client`] — now a thin single-session wrapper over the same
+//! machinery.
+//!
+//! A [`Connection`] owns the socket: a writer mutex serializes request
+//! frames, and a background router thread reads response frames and hands
+//! each to the session whose stream id it carries. [`Session`] handles are
+//! cheap (an `Arc` clone plus a stream id); every session gets independent
+//! transaction state server-side. Responses may complete out of order
+//! across sessions — that is the point — while each session itself stays
+//! blocking and in order.
+//!
+//! [`Client::connect`] negotiates protocol v2 and wraps one session, so
+//! existing call sites keep their exact API. [`Client::v1`] skips the
+//! handshake entirely and speaks the legacy lockstep framing — the path a
+//! pre-v2 binary takes implicitly.
 
-use crate::proto::{read_frame, write_frame, ErrorCode, Hit, Request, Response, WireError};
+use crate::proto::{
+    self, ErrorCode, Frame, FrameCodec, Hello, HelloAck, Hit, Request, Response, WireError,
+};
 use crate::stats::StatsSnapshot;
+use crate::transport::{Closer, Transport};
+use parking_lot::Mutex;
 use rx_engine::{ColValue, Row};
+use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{mpsc, Arc};
 
 /// What a client call can fail with.
 #[derive(Debug)]
 pub enum ClientError {
-    /// The admission queue was full; retry later.
+    /// The admission queue (or the connection's stream budget) was full;
+    /// retry later.
     Busy,
     /// The server is draining; reconnect elsewhere.
     ShuttingDown,
@@ -65,81 +88,234 @@ fn error_response(err: WireError) -> ClientError {
     }
 }
 
-/// A blocking connection to an rx-server. One outstanding request at a
-/// time; the server pairs each connection with one session, so dropping the
-/// client rolls back any open transaction server-side.
-pub struct Client<S: Read + Write> {
-    stream: S,
+fn decode_response(payload: &[u8]) -> Result<Response, ClientError> {
+    match Response::decode(payload).map_err(ClientError::Protocol)? {
+        Response::Error(err) => Err(error_response(err)),
+        resp => Ok(resp),
+    }
 }
 
-impl<S: Read + Write> Client<S> {
-    /// Wrap an established byte stream.
-    pub fn new(stream: S) -> Client<S> {
-        Client { stream }
+/// How to open a connection: the protocol version to request, how many
+/// concurrent streams to ask for, and the frame-size bound to enforce.
+#[derive(Debug, Clone)]
+pub struct ConnectOptions {
+    /// Requested protocol version; the server answers with
+    /// `min(requested, supported)`, so asking for 1 is an explicit
+    /// downgrade and asking for more than it speaks still lands on v2.
+    pub version: u8,
+    /// Concurrent in-flight requests to ask for; the server may grant
+    /// less, never more than its own budget.
+    pub max_streams: u32,
+    /// Frame-payload bound: larger length prefixes are a protocol error
+    /// instead of an allocation attempt. The effective bound is the
+    /// smaller of this and what the server advertises.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        ConnectOptions {
+            version: proto::PROTO_MAX_VERSION,
+            max_streams: 32,
+            max_frame_bytes: proto::MAX_FRAME,
+        }
+    }
+}
+
+/// One-shot response routes, keyed by stream id, plus the reason the
+/// connection died (set once by the router thread).
+struct Pending {
+    routes: HashMap<u32, mpsc::Sender<Vec<u8>>>,
+    dead: bool,
+}
+
+/// Shared state behind a [`Connection`] and all of its [`Session`]s.
+struct ConnInner {
+    writer: Mutex<Box<dyn Write + Send>>,
+    codec: FrameCodec,
+    pending: Arc<Mutex<Pending>>,
+    closed: Arc<AtomicBool>,
+    closer: Closer,
+    next_stream: AtomicU32,
+    max_streams: u32,
+}
+
+impl Drop for ConnInner {
+    fn drop(&mut self) {
+        // Hang up so the router thread unparks and exits.
+        self.closed.store(true, Ordering::SeqCst);
+        (self.closer)();
+    }
+}
+
+/// A multiplexed protocol-v2 connection: one socket, many concurrent
+/// [`Session`]s. Cloning is cheap and shares the socket; the socket closes
+/// when the last clone and all sessions are gone.
+#[derive(Clone)]
+pub struct Connection {
+    inner: Arc<ConnInner>,
+}
+
+impl Connection {
+    /// Handshake on `stream` and require protocol v2. Fails with
+    /// [`ClientError::Protocol`] when the server downgrades to v1 (use
+    /// [`Client::connect`] if a lockstep fallback is acceptable).
+    pub fn establish<S: Transport>(
+        stream: S,
+        opts: ConnectOptions,
+    ) -> Result<Connection, ClientError> {
+        match negotiate(stream, opts)? {
+            Negotiated::V2(conn) => Ok(conn),
+            Negotiated::V1 { .. } => Err(ClientError::Protocol(
+                "server downgraded to protocol v1; multiplexing needs v2".into(),
+            )),
+        }
+    }
+
+    fn from_parts<R: Read + Send + 'static>(
+        reader: R,
+        writer: impl Write + Send + 'static,
+        closer: Closer,
+        max_streams: u32,
+        max_frame: usize,
+    ) -> Connection {
+        let pending = Arc::new(Mutex::new(Pending {
+            routes: HashMap::new(),
+            dead: false,
+        }));
+        let closed = Arc::new(AtomicBool::new(false));
+        let inner = Arc::new(ConnInner {
+            writer: Mutex::new(Box::new(writer)),
+            codec: FrameCodec::v2(max_frame),
+            pending: Arc::clone(&pending),
+            closed: Arc::clone(&closed),
+            closer,
+            next_stream: AtomicU32::new(1),
+            max_streams,
+        });
+        // The router holds only the pending map and the closed flag — not
+        // the inner — so dropping the last user handle hangs up the socket
+        // and lets this thread exit.
+        let codec = FrameCodec::v2(max_frame);
+        std::thread::Builder::new()
+            .name("rx-client-router".into())
+            .spawn(move || {
+                let mut reader = reader;
+                loop {
+                    if closed.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match codec.read(&mut reader) {
+                        Ok(Some(frame)) => {
+                            let route = pending.lock().routes.remove(&frame.stream);
+                            if let Some(tx) = route {
+                                let _ = tx.send(frame.payload);
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let mut p = pending.lock();
+                p.dead = true;
+                p.routes.clear(); // wakes every parked caller with Closed
+            })
+            .expect("spawn client router");
+        Connection { inner }
+    }
+
+    /// Open a new session (stream) on this connection. Cheap: no round
+    /// trip; the server materializes the stream's session on its first
+    /// request.
+    pub fn session(&self) -> Session {
+        let stream = self.inner.next_stream.fetch_add(1, Ordering::Relaxed);
+        Session {
+            inner: Arc::clone(&self.inner),
+            stream,
+        }
+    }
+
+    /// The stream budget the server granted at handshake.
+    pub fn max_streams(&self) -> u32 {
+        self.inner.max_streams
+    }
+}
+
+/// One logical stream on a [`Connection`]: independent server-side
+/// transaction state, blocking calls, one request in flight per session.
+/// Run sessions from different threads (or pipeline across several
+/// sessions) to overlap requests on the shared connection. Dropping a
+/// session tells the server to close its stream (rolling back any open
+/// transaction).
+pub struct Session {
+    inner: Arc<ConnInner>,
+    stream: u32,
+}
+
+impl Session {
+    /// The stream id this session occupies on its connection.
+    pub fn stream_id(&self) -> u32 {
+        self.stream
     }
 
     fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &req.encode())?;
-        let payload = read_frame(&mut self.stream)?.ok_or(ClientError::Closed)?;
-        match Response::decode(&payload).map_err(ClientError::Protocol)? {
-            Response::Error(err) => Err(error_response(err)),
-            resp => Ok(resp),
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut p = self.inner.pending.lock();
+            if p.dead {
+                return Err(ClientError::Closed);
+            }
+            p.routes.insert(self.stream, tx);
         }
+        let frame = Frame::data(self.stream, req.encode());
+        if let Err(e) = self
+            .inner
+            .codec
+            .write(&mut *self.inner.writer.lock(), &frame)
+        {
+            self.inner.pending.lock().routes.remove(&self.stream);
+            return Err(ClientError::Io(e));
+        }
+        let payload = rx.recv().map_err(|_| ClientError::Closed)?;
+        decode_response(&payload)
     }
 
-    fn expect_unit(&mut self, req: &Request) -> Result<(), ClientError> {
-        match self.call(req)? {
-            Response::Unit => Ok(()),
-            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
-        }
-    }
-
-    /// Open an explicit transaction on this connection's session.
+    /// Open an explicit transaction on this session.
     pub fn begin(&mut self) -> Result<(), ClientError> {
-        self.expect_unit(&Request::Begin)
+        want_unit(self.call(&Request::Begin)?)
     }
 
     /// Commit the open transaction.
     pub fn commit(&mut self) -> Result<(), ClientError> {
-        self.expect_unit(&Request::Commit)
+        want_unit(self.call(&Request::Commit)?)
     }
 
     /// Roll back the open transaction.
     pub fn rollback(&mut self) -> Result<(), ClientError> {
-        self.expect_unit(&Request::Rollback)
+        want_unit(self.call(&Request::Rollback)?)
     }
 
     /// Insert a row; returns its DocID.
     pub fn insert_row(&mut self, table: &str, values: Vec<ColValue>) -> Result<u64, ClientError> {
-        match self.call(&Request::InsertRow {
+        want_doc(self.call(&Request::InsertRow {
             table: table.to_string(),
             values,
-        })? {
-            Response::Doc(doc) => Ok(doc),
-            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
-        }
+        })?)
     }
 
     /// Fetch a row by DocID (`None` when the id is unknown).
     pub fn fetch_row(&mut self, table: &str, doc: u64) -> Result<Option<Row>, ClientError> {
-        match self.call(&Request::FetchRow {
+        want_row(self.call(&Request::FetchRow {
             table: table.to_string(),
             doc,
-        })? {
-            Response::Row(row) => Ok(row),
-            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
-        }
+        })?)
     }
 
     /// Delete a row by DocID; returns whether it existed.
     pub fn delete_row(&mut self, table: &str, doc: u64) -> Result<bool, ClientError> {
-        match self.call(&Request::DeleteRow {
+        want_deleted(self.call(&Request::DeleteRow {
             table: table.to_string(),
             doc,
-        })? {
-            Response::Deleted(ok) => Ok(ok),
-            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
-        }
+        })?)
     }
 
     /// Evaluate an XPath over one XML column.
@@ -149,35 +325,309 @@ impl<S: Read + Write> Client<S> {
         column: &str,
         path: &str,
     ) -> Result<Vec<Hit>, ClientError> {
-        match self.call(&Request::Query {
+        want_hits(self.call(&Request::Query {
             table: table.to_string(),
             column: column.to_string(),
             path: path.to_string(),
-        })? {
-            Response::Hits(hits) => Ok(hits),
-            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
-        }
+        })?)
     }
 
     /// Fetch the server's counter snapshot.
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
-        match self.call(&Request::Stats)? {
-            Response::Stats(s) => Ok(*s),
-            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
-        }
+        want_stats(self.call(&Request::Stats)?)
     }
 
     /// Liveness check.
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        match self.call(&Request::Ping)? {
-            Response::Pong => Ok(()),
-            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
-        }
+        want_pong(self.call(&Request::Ping)?)
     }
 
     /// Diagnostic: hold a worker slot for `millis` (admission-control
     /// testing).
     pub fn sleep_ms(&mut self, millis: u32) -> Result<(), ClientError> {
-        self.expect_unit(&Request::Sleep { millis })
+        want_unit(self.call(&Request::Sleep { millis })?)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.inner.pending.lock().routes.remove(&self.stream);
+        // Best effort: tell the server to close this stream's session.
+        let _ = self.inner.codec.write(
+            &mut *self.inner.writer.lock(),
+            &Frame::end_stream(self.stream),
+        );
+    }
+}
+
+fn unexpected<T>(other: Response) -> Result<T, ClientError> {
+    Err(ClientError::Protocol(format!("unexpected reply {other:?}")))
+}
+
+fn want_unit(resp: Response) -> Result<(), ClientError> {
+    match resp {
+        Response::Unit => Ok(()),
+        other => unexpected(other),
+    }
+}
+
+fn want_doc(resp: Response) -> Result<u64, ClientError> {
+    match resp {
+        Response::Doc(doc) => Ok(doc),
+        other => unexpected(other),
+    }
+}
+
+fn want_row(resp: Response) -> Result<Option<Row>, ClientError> {
+    match resp {
+        Response::Row(row) => Ok(row),
+        other => unexpected(other),
+    }
+}
+
+fn want_deleted(resp: Response) -> Result<bool, ClientError> {
+    match resp {
+        Response::Deleted(ok) => Ok(ok),
+        other => unexpected(other),
+    }
+}
+
+fn want_hits(resp: Response) -> Result<Vec<Hit>, ClientError> {
+    match resp {
+        Response::Hits(hits) => Ok(hits),
+        other => unexpected(other),
+    }
+}
+
+fn want_stats(resp: Response) -> Result<StatsSnapshot, ClientError> {
+    match resp {
+        Response::Stats(s) => Ok(*s),
+        other => unexpected(other),
+    }
+}
+
+fn want_pong(resp: Response) -> Result<(), ClientError> {
+    match resp {
+        Response::Pong => Ok(()),
+        other => unexpected(other),
+    }
+}
+
+/// What the handshake settled on.
+enum Negotiated<S: Transport> {
+    /// Lockstep v1 (explicit downgrade).
+    V1 {
+        reader: S::Reader,
+        writer: S::Writer,
+        codec: FrameCodec,
+        closer: Closer,
+    },
+    /// Multiplexed v2.
+    V2(Connection),
+}
+
+/// Send a [`Hello`] and interpret the reply. The hello travels v1-framed,
+/// so a pre-v2 server that cannot parse it fails loudly rather than
+/// desyncing.
+fn negotiate<S: Transport>(stream: S, opts: ConnectOptions) -> Result<Negotiated<S>, ClientError> {
+    let (mut reader, mut writer, closer) = stream.into_split()?;
+    let v1 = FrameCodec::v1(opts.max_frame_bytes);
+    let hello = Hello {
+        version: opts.version,
+        max_streams: opts.max_streams,
+        max_frame: opts.max_frame_bytes as u64,
+    };
+    v1.write(&mut writer, &Frame::data(0, hello.encode()))?;
+    let frame = v1.read(&mut reader)?.ok_or(ClientError::Closed)?;
+    let ack = match frame.payload.first() {
+        Some(&proto::ST_HELLO) => {
+            HelloAck::decode(&frame.payload).map_err(ClientError::Protocol)?
+        }
+        _ => return decode_response(&frame.payload).and_then(unexpected),
+    };
+    let max_frame = opts.max_frame_bytes.min(ack.max_frame as usize).max(1024);
+    match ack.version {
+        1 => Ok(Negotiated::V1 {
+            reader,
+            writer,
+            codec: FrameCodec::v1(max_frame),
+            closer,
+        }),
+        2 => Ok(Negotiated::V2(Connection::from_parts(
+            reader,
+            writer,
+            closer,
+            ack.max_streams,
+            max_frame,
+        ))),
+        v => Err(ClientError::Protocol(format!(
+            "server negotiated unknown protocol version {v}"
+        ))),
+    }
+}
+
+/// How a [`Client`] speaks to its server.
+enum Mode<S: Transport> {
+    /// Legacy lockstep framing, one request in flight.
+    V1 {
+        reader: S::Reader,
+        writer: S::Writer,
+        codec: FrameCodec,
+        /// Kept so the transport's hangup hook lives as long as the client.
+        _closer: Closer,
+    },
+    /// A single session on a multiplexed v2 connection.
+    V2 {
+        session: Session,
+        /// Keeps the connection (and its router thread) alive.
+        _conn: Connection,
+    },
+}
+
+/// A blocking connection to an rx-server: one outstanding request at a
+/// time, one server-side session, so dropping the client rolls back any
+/// open transaction. Since the v2 redesign this is a thin wrapper: either
+/// a single [`Session`] on a [`Connection`], or — via [`Client::v1`] or a
+/// server downgrade — the legacy lockstep loop.
+pub struct Client<S: Transport> {
+    mode: Mode<S>,
+}
+
+impl<S: Transport> Client<S> {
+    /// Handshake with default [`ConnectOptions`]: negotiate v2, accept a
+    /// downgrade to v1 lockstep if that is all the server speaks.
+    pub fn connect(stream: S) -> Result<Client<S>, ClientError> {
+        Client::connect_with(stream, ConnectOptions::default())
+    }
+
+    /// Handshake with explicit options (e.g. `version: 1` to force the
+    /// downgrade path, or a custom frame bound).
+    pub fn connect_with(stream: S, opts: ConnectOptions) -> Result<Client<S>, ClientError> {
+        let mode = match negotiate(stream, opts)? {
+            Negotiated::V1 {
+                reader,
+                writer,
+                codec,
+                closer,
+            } => Mode::V1 {
+                reader,
+                writer,
+                codec,
+                _closer: closer,
+            },
+            Negotiated::V2(conn) => Mode::V2 {
+                session: conn.session(),
+                _conn: conn,
+            },
+        };
+        Ok(Client { mode })
+    }
+
+    /// Speak legacy v1 with no handshake at all — byte-for-byte what a
+    /// pre-v2 client sends. The server sniffs the first frame and serves
+    /// the lockstep path.
+    pub fn v1(stream: S) -> Result<Client<S>, ClientError> {
+        let (reader, writer, closer) = stream.into_split()?;
+        Ok(Client {
+            mode: Mode::V1 {
+                reader,
+                writer,
+                codec: FrameCodec::v1(proto::MAX_FRAME),
+                _closer: closer,
+            },
+        })
+    }
+
+    /// The protocol version this client ended up speaking (1 or 2).
+    pub fn protocol_version(&self) -> u8 {
+        match &self.mode {
+            Mode::V1 { .. } => 1,
+            Mode::V2 { .. } => 2,
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        match &mut self.mode {
+            Mode::V1 {
+                reader,
+                writer,
+                codec,
+                ..
+            } => {
+                codec.write(writer, &Frame::data(0, req.encode()))?;
+                let frame = codec.read(reader)?.ok_or(ClientError::Closed)?;
+                decode_response(&frame.payload)
+            }
+            Mode::V2 { session, .. } => session.call(req),
+        }
+    }
+
+    /// Open an explicit transaction on this connection's session.
+    pub fn begin(&mut self) -> Result<(), ClientError> {
+        want_unit(self.call(&Request::Begin)?)
+    }
+
+    /// Commit the open transaction.
+    pub fn commit(&mut self) -> Result<(), ClientError> {
+        want_unit(self.call(&Request::Commit)?)
+    }
+
+    /// Roll back the open transaction.
+    pub fn rollback(&mut self) -> Result<(), ClientError> {
+        want_unit(self.call(&Request::Rollback)?)
+    }
+
+    /// Insert a row; returns its DocID.
+    pub fn insert_row(&mut self, table: &str, values: Vec<ColValue>) -> Result<u64, ClientError> {
+        want_doc(self.call(&Request::InsertRow {
+            table: table.to_string(),
+            values,
+        })?)
+    }
+
+    /// Fetch a row by DocID (`None` when the id is unknown).
+    pub fn fetch_row(&mut self, table: &str, doc: u64) -> Result<Option<Row>, ClientError> {
+        want_row(self.call(&Request::FetchRow {
+            table: table.to_string(),
+            doc,
+        })?)
+    }
+
+    /// Delete a row by DocID; returns whether it existed.
+    pub fn delete_row(&mut self, table: &str, doc: u64) -> Result<bool, ClientError> {
+        want_deleted(self.call(&Request::DeleteRow {
+            table: table.to_string(),
+            doc,
+        })?)
+    }
+
+    /// Evaluate an XPath over one XML column.
+    pub fn query(
+        &mut self,
+        table: &str,
+        column: &str,
+        path: &str,
+    ) -> Result<Vec<Hit>, ClientError> {
+        want_hits(self.call(&Request::Query {
+            table: table.to_string(),
+            column: column.to_string(),
+            path: path.to_string(),
+        })?)
+    }
+
+    /// Fetch the server's counter snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        want_stats(self.call(&Request::Stats)?)
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        want_pong(self.call(&Request::Ping)?)
+    }
+
+    /// Diagnostic: hold a worker slot for `millis` (admission-control
+    /// testing).
+    pub fn sleep_ms(&mut self, millis: u32) -> Result<(), ClientError> {
+        want_unit(self.call(&Request::Sleep { millis })?)
     }
 }

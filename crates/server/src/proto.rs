@@ -1,19 +1,42 @@
-//! The wire protocol: length-prefixed binary frames.
+//! The wire protocol: framed binary messages, in two versions.
 //!
-//! Every message is one frame: a little-endian `u32` payload length followed
-//! by the payload. Request payloads start with an opcode byte, response
-//! payloads with a status byte; all field encoding reuses the storage
-//! layer's [`Enc`]/[`Dec`] codec, so the TCP listener and the in-process
-//! channel transport share one byte format by construction.
+//! **v1 (lockstep)** frames are a little-endian `u32` payload length
+//! followed by the payload — one request in flight per connection.
+//!
+//! **v2 (multiplexed streams)** frames carry a stream id and a flags byte
+//! between the length and the payload: `u32 len · u32 stream_id · u8 flags
+//! · payload`. Many logical sessions share one connection, each request is
+//! tagged with its stream, and responses may return out of order. A
+//! connection opens with a v1-framed [`Hello`] handshake that negotiates
+//! the version (and per-connection stream budget), so v1 clients that skip
+//! the handshake keep working unchanged.
+//!
+//! Request payloads start with an opcode byte, response payloads with a
+//! status byte; all field encoding reuses the storage layer's
+//! [`Enc`]/[`Dec`] codec, so the TCP listener and the in-process channel
+//! transport share one byte format by construction. [`FrameCodec`] owns
+//! the length/stream framing for both versions and enforces a configurable
+//! `max_frame_bytes` so a corrupt length prefix is a protocol error, not
+//! an allocation attempt.
 
 use crate::stats::StatsSnapshot;
 use rx_engine::{ColValue, Row};
 use rx_storage::codec::{Dec, Enc};
 use std::io::{self, Read, Write};
 
-/// Upper bound on a frame payload; anything larger is a protocol error
-/// (protects the server from a bad length prefix).
+/// Default upper bound on a frame payload; anything larger is a protocol
+/// error (protects both sides from a bad length prefix). Tune per server /
+/// client with [`crate::ServerConfig::max_frame_bytes`] and
+/// [`crate::ConnectOptions::max_frame_bytes`].
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// Highest protocol version this build speaks.
+pub const PROTO_MAX_VERSION: u8 = 2;
+
+/// Frame flag: the sender is done with this stream; the server closes the
+/// stream's session (rolling back any open transaction). Carried on an
+/// empty payload, answered with nothing.
+pub const FLAG_END_STREAM: u8 = 0x01;
 
 // Request opcodes.
 const OP_BEGIN: u8 = 1;
@@ -26,6 +49,9 @@ const OP_QUERY: u8 = 7;
 const OP_STATS: u8 = 8;
 const OP_PING: u8 = 9;
 const OP_SLEEP: u8 = 10;
+/// Handshake opcode: the first payload byte of a [`Hello`]. Public so the
+/// connection handler can recognise a handshake without decoding twice.
+pub const OP_HELLO: u8 = 11;
 
 // Response status bytes.
 const ST_UNIT: u8 = 0;
@@ -35,6 +61,8 @@ const ST_DELETED: u8 = 3;
 const ST_HITS: u8 = 4;
 const ST_STATS: u8 = 5;
 const ST_PONG: u8 = 6;
+/// Handshake reply status: the first payload byte of a [`HelloAck`].
+pub const ST_HELLO: u8 = 7;
 const ST_ERROR: u8 = 255;
 
 /// A client request.
@@ -122,6 +150,8 @@ pub enum ErrorCode {
     Protocol = 9,
     /// Anything else.
     Internal = 10,
+    /// The handshake requested a protocol version this server cannot speak.
+    UnsupportedVersion = 11,
 }
 
 impl ErrorCode {
@@ -137,6 +167,7 @@ impl ErrorCode {
             7 => Deadlock,
             8 => Invalid,
             9 => Protocol,
+            11 => UnsupportedVersion,
             _ => Internal,
         }
     }
@@ -385,48 +416,269 @@ impl Response {
     }
 }
 
-/// Write one frame: `u32` little-endian payload length, then the payload.
-pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME);
-    let mut buf = Vec::with_capacity(4 + payload.len());
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    buf.extend_from_slice(payload);
-    // One write_all so channel transports see whole frames per chunk.
-    w.write_all(&buf)?;
-    w.flush()
+/// Wire protocol versions a connection can speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoVersion {
+    /// Length-prefixed lockstep frames, one request in flight.
+    V1,
+    /// Multiplexed streams: frames carry `(stream_id, flags)`.
+    V2,
 }
 
-/// Read one frame. `Ok(None)` on clean EOF at a frame boundary.
-pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
-    let mut len = [0u8; 4];
-    let mut filled = 0;
-    while filled < 4 {
-        match r.read(&mut len[filled..]) {
-            Ok(0) => {
-                return if filled == 0 {
-                    Ok(None)
-                } else {
-                    Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "EOF inside frame header",
-                    ))
-                };
-            }
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
+/// One protocol frame. In v1 `stream` and `flags` are always zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The logical stream this frame belongs to (0 in v1).
+    pub stream: u32,
+    /// Frame flags ([`FLAG_END_STREAM`]); 0 in v1.
+    pub flags: u8,
+    /// The request/response payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A data frame carrying `payload` on `stream`.
+    pub fn data(stream: u32, payload: Vec<u8>) -> Frame {
+        Frame {
+            stream,
+            flags: 0,
+            payload,
         }
     }
-    let n = u32::from_le_bytes(len) as usize;
-    if n > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame of {n} bytes exceeds the {MAX_FRAME} byte limit"),
-        ));
+
+    /// An empty end-of-stream frame: the sender is done with `stream`.
+    pub fn end_stream(stream: u32) -> Frame {
+        Frame {
+            stream,
+            flags: FLAG_END_STREAM,
+            payload: Vec::new(),
+        }
     }
-    let mut payload = vec![0u8; n];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+}
+
+/// Owns the length/stream framing for both protocol versions: length
+/// prefixes, the v2 stream header, and the `max_frame_bytes` bound that
+/// turns a corrupt length prefix into a protocol error instead of an
+/// allocation attempt. Every frame on a connection — TCP handler, channel
+/// transport, client — goes through one of these.
+#[derive(Debug, Clone)]
+pub struct FrameCodec {
+    version: ProtoVersion,
+    max_frame: usize,
+}
+
+impl FrameCodec {
+    /// A codec for `version` rejecting payloads larger than `max_frame`.
+    pub fn new(version: ProtoVersion, max_frame: usize) -> FrameCodec {
+        FrameCodec { version, max_frame }
+    }
+
+    /// A v1 (lockstep) codec.
+    pub fn v1(max_frame: usize) -> FrameCodec {
+        FrameCodec::new(ProtoVersion::V1, max_frame)
+    }
+
+    /// A v2 (multiplexed streams) codec.
+    pub fn v2(max_frame: usize) -> FrameCodec {
+        FrameCodec::new(ProtoVersion::V2, max_frame)
+    }
+
+    /// The version this codec frames.
+    pub fn version(&self) -> ProtoVersion {
+        self.version
+    }
+
+    /// The payload size bound enforced on both reads and writes.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+
+    /// Write one frame. v1 cannot carry stream ids or flags; passing a
+    /// nonzero one there is an `InvalidInput` error (it would silently drop
+    /// routing information).
+    pub fn write<W: Write>(&self, w: &mut W, frame: &Frame) -> io::Result<()> {
+        if frame.payload.len() > self.max_frame {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "frame of {} bytes exceeds the {} byte limit",
+                    frame.payload.len(),
+                    self.max_frame
+                ),
+            ));
+        }
+        let mut buf = Vec::with_capacity(9 + frame.payload.len());
+        buf.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+        match self.version {
+            ProtoVersion::V1 => {
+                if frame.stream != 0 || frame.flags != 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "v1 frames cannot carry a stream id or flags",
+                    ));
+                }
+            }
+            ProtoVersion::V2 => {
+                buf.extend_from_slice(&frame.stream.to_le_bytes());
+                buf.push(frame.flags);
+            }
+        }
+        buf.extend_from_slice(&frame.payload);
+        // One write_all so channel transports see whole frames per chunk.
+        w.write_all(&buf)?;
+        w.flush()
+    }
+
+    /// Read one frame. `Ok(None)` on clean EOF at a frame boundary.
+    pub fn read<R: Read>(&self, r: &mut R) -> io::Result<Option<Frame>> {
+        let mut len = [0u8; 4];
+        let mut filled = 0;
+        while filled < 4 {
+            match r.read(&mut len[filled..]) {
+                Ok(0) => {
+                    return if filled == 0 {
+                        Ok(None)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "EOF inside frame header",
+                        ))
+                    };
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let n = u32::from_le_bytes(len) as usize;
+        if n > self.max_frame {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "frame of {n} bytes exceeds the {} byte limit",
+                    self.max_frame
+                ),
+            ));
+        }
+        let (stream, flags) = match self.version {
+            ProtoVersion::V1 => (0, 0),
+            ProtoVersion::V2 => {
+                let mut head = [0u8; 5];
+                r.read_exact(&mut head)?;
+                (
+                    u32::from_le_bytes([head[0], head[1], head[2], head[3]]),
+                    head[4],
+                )
+            }
+        };
+        let mut payload = vec![0u8; n];
+        r.read_exact(&mut payload)?;
+        Ok(Some(Frame {
+            stream,
+            flags,
+            payload,
+        }))
+    }
+}
+
+/// The client half of the version handshake, sent v1-framed as the very
+/// first message of a connection that wants v2. (v1 clients skip it; their
+/// first payload byte is an ordinary request opcode, never [`OP_HELLO`].)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Highest protocol version the client speaks.
+    pub version: u8,
+    /// How many concurrent streams the client wants on this connection.
+    pub max_streams: u32,
+    /// The client's frame-payload read bound, advertised so the peer can
+    /// avoid writing frames the client would reject.
+    pub max_frame: u64,
+}
+
+impl Hello {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u8(OP_HELLO)
+            .u8(self.version)
+            .u32(self.max_streams)
+            .u64(self.max_frame);
+        e.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Hello, String> {
+        let mut d = Dec::new(payload);
+        let op = d.u8().map_err(|e| e.to_string())?;
+        if op != OP_HELLO {
+            return Err(format!("expected hello opcode {OP_HELLO}, got {op}"));
+        }
+        let h = Hello {
+            version: d.u8().map_err(|e| e.to_string())?,
+            max_streams: d.u32().map_err(|e| e.to_string())?,
+            max_frame: d.u64().map_err(|e| e.to_string())?,
+        };
+        if !d.is_done() {
+            return Err(format!("{} trailing bytes after hello", d.remaining()));
+        }
+        Ok(h)
+    }
+}
+
+/// The server half of the handshake: the negotiated version (which may be
+/// lower than the client asked for — the explicit downgrade path), the
+/// granted per-connection stream budget, and the server's frame bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloAck {
+    /// The version the connection will speak from here on.
+    pub version: u8,
+    /// Concurrent in-flight requests granted to this connection; the
+    /// server answers `Busy` per stream beyond it.
+    pub max_streams: u32,
+    /// The server's frame-payload read bound.
+    pub max_frame: u64,
+}
+
+impl HelloAck {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u8(ST_HELLO)
+            .u8(self.version)
+            .u32(self.max_streams)
+            .u64(self.max_frame);
+        e.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<HelloAck, String> {
+        let mut d = Dec::new(payload);
+        let st = d.u8().map_err(|e| e.to_string())?;
+        if st != ST_HELLO {
+            return Err(format!("expected hello-ack status {ST_HELLO}, got {st}"));
+        }
+        let a = HelloAck {
+            version: d.u8().map_err(|e| e.to_string())?,
+            max_streams: d.u32().map_err(|e| e.to_string())?,
+            max_frame: d.u64().map_err(|e| e.to_string())?,
+        };
+        if !d.is_done() {
+            return Err(format!("{} trailing bytes after hello-ack", d.remaining()));
+        }
+        Ok(a)
+    }
+}
+
+/// Write one v1 frame: `u32` little-endian payload length, then the payload.
+#[deprecated(note = "use FrameCodec, which owns framing for both versions")]
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    FrameCodec::v1(MAX_FRAME).write(w, &Frame::data(0, payload.to_vec()))
+}
+
+/// Read one v1 frame. `Ok(None)` on clean EOF at a frame boundary.
+#[deprecated(note = "use FrameCodec, which owns framing for both versions")]
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    Ok(FrameCodec::v1(MAX_FRAME).read(r)?.map(|f| f.payload))
 }
 
 #[cfg(test)]
@@ -505,22 +757,104 @@ mod tests {
     }
 
     #[test]
-    fn frames_round_trip_over_a_buffer() {
+    fn v1_frames_round_trip_over_a_buffer() {
+        let codec = FrameCodec::v1(MAX_FRAME);
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello").unwrap();
-        write_frame(&mut buf, b"").unwrap();
+        codec
+            .write(&mut buf, &Frame::data(0, b"hello".to_vec()))
+            .unwrap();
+        codec.write(&mut buf, &Frame::data(0, Vec::new())).unwrap();
         let mut r = &buf[..];
-        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
-        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
-        assert!(read_frame(&mut r).unwrap().is_none());
+        assert_eq!(codec.read(&mut r).unwrap().unwrap().payload, b"hello");
+        assert_eq!(codec.read(&mut r).unwrap().unwrap().payload, b"");
+        assert!(codec.read(&mut r).unwrap().is_none());
     }
 
     #[test]
-    fn oversized_frame_rejected() {
+    fn v2_frames_carry_stream_and_flags() {
+        let codec = FrameCodec::v2(MAX_FRAME);
         let mut buf = Vec::new();
-        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        codec
+            .write(&mut buf, &Frame::data(7, b"payload".to_vec()))
+            .unwrap();
+        codec.write(&mut buf, &Frame::end_stream(9)).unwrap();
         let mut r = &buf[..];
-        assert!(read_frame(&mut r).is_err());
+        let f = codec.read(&mut r).unwrap().unwrap();
+        assert_eq!((f.stream, f.flags, &f.payload[..]), (7, 0, &b"payload"[..]));
+        let f = codec.read(&mut r).unwrap().unwrap();
+        assert_eq!(
+            (f.stream, f.flags, f.payload.len()),
+            (9, FLAG_END_STREAM, 0)
+        );
+        assert!(codec.read(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn v1_refuses_stream_ids() {
+        let codec = FrameCodec::v1(MAX_FRAME);
+        let mut buf = Vec::new();
+        assert!(codec.write(&mut buf, &Frame::data(1, Vec::new())).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_read_and_write() {
+        for codec in [FrameCodec::v1(1024), FrameCodec::v2(1024)] {
+            // Read side: a corrupt length prefix is a protocol error, not an
+            // allocation attempt.
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+            let mut r = &buf[..];
+            let err = codec.read(&mut r).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            // Write side: never emit a frame the configured peer bound
+            // would reject.
+            let mut out = Vec::new();
+            assert!(codec
+                .write(&mut out, &Frame::data(0, vec![0u8; 2048]))
+                .is_err());
+            // At the bound is fine.
+            codec
+                .write(&mut out, &Frame::data(0, vec![0u8; 1024]))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn hello_and_ack_round_trip() {
+        let h = Hello {
+            version: 2,
+            max_streams: 16,
+            max_frame: 1 << 20,
+        };
+        assert_eq!(Hello::decode(&h.encode()).unwrap(), h);
+        let a = HelloAck {
+            version: 2,
+            max_streams: 8,
+            max_frame: 64 << 20,
+        };
+        assert_eq!(HelloAck::decode(&a.encode()).unwrap(), a);
+        // A hello is never a valid request, and vice versa.
+        assert!(Request::decode(&h.encode()).is_err());
+        assert!(Hello::decode(&Request::Ping.encode()).is_err());
+        // Trailing bytes are a protocol error.
+        let mut p = h.encode();
+        p.push(0);
+        assert!(Hello::decode(&p).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_frame_helpers_still_speak_v1() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        // Byte-identical to the codec's v1 framing.
+        let mut via_codec = Vec::new();
+        FrameCodec::v1(MAX_FRAME)
+            .write(&mut via_codec, &Frame::data(0, b"hello".to_vec()))
+            .unwrap();
+        assert_eq!(buf, via_codec);
     }
 
     #[test]

@@ -1,28 +1,36 @@
 //! The server: a fixed worker pool behind a bounded admission queue,
-//! per-connection handler threads, a TCP listener, an in-process channel
-//! transport, and graceful shutdown.
+//! per-connection handler threads that demultiplex protocol-v2 streams, a
+//! TCP listener, an in-process channel transport, and graceful shutdown.
 //!
-//! Life of a request: a connection handler reads one frame, decodes it, and
-//! submits a job to the admission queue. If the queue is at capacity the
-//! handler answers `Busy` immediately — clients are never parked on an
-//! unbounded backlog. A worker picks the job up, runs it against the
-//! engine, and hands the response back to the handler, which writes it to
-//! the connection. Connections are lockstep (one outstanding request each),
-//! so concurrency equals the number of connections, bounded by the worker
-//! pool.
+//! Life of a connection: the handler reads the first frame v1-framed. A
+//! [`Hello`] negotiates protocol v2 (or an explicit downgrade to v1);
+//! anything else is a v1 client running today's lockstep loop unchanged.
+//!
+//! Life of a v2 request: the handler decodes frames off the socket and
+//! dispatches each stream's request as an independent job on the worker
+//! pool — one session per stream, so per-stream transaction state lives in
+//! the [`SessionManager`] like any other session. A writer mutex
+//! serializes responses back; completions may return out of order, tagged
+//! by stream id. Two backpressure layers answer `Busy` per-stream instead
+//! of stalling the socket: the per-connection `max_streams` in-flight
+//! budget and the global admission queue.
 //!
 //! Shutdown: new requests and connections are refused, queued work drains,
 //! every connection is force-closed, handler threads exit (closing their
 //! sessions), and any session that still holds a transaction is rolled
 //! back.
 
-use crate::proto::{read_frame, write_frame, ErrorCode, Hit, Request, Response, WireError};
+use crate::proto::{
+    self, ErrorCode, Frame, FrameCodec, Hello, HelloAck, Hit, Request, Response, WireError,
+    FLAG_END_STREAM,
+};
 use crate::session::{SessionError, SessionManager};
 use crate::stats::{ReqClass, ServerCounters, StatsSnapshot};
+use crate::transport::{ChannelStream, Transport};
 use parking_lot::{Condvar, Mutex};
 use rx_engine::{Database, EngineError};
 use rx_xpath::XPathParser;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -39,6 +47,13 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Sessions idle longer than this are reaped (open txns rolled back).
     pub idle_timeout: Duration,
+    /// Upper bound on concurrent in-flight requests per v2 connection;
+    /// a `Hello` may ask for less, never more. Requests beyond the budget
+    /// are answered `Busy` on their stream.
+    pub max_streams: u32,
+    /// Frame-payload read bound; larger length prefixes are a protocol
+    /// error instead of an allocation attempt.
+    pub max_frame_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +62,8 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 64,
             idle_timeout: Duration::from_secs(30),
+            max_streams: 32,
+            max_frame_bytes: proto::MAX_FRAME,
         }
     }
 }
@@ -66,6 +83,8 @@ struct Inner {
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     queue_depth: usize,
+    max_streams: u32,
+    max_frame: usize,
     shutting_down: AtomicBool,
     in_flight: AtomicUsize,
     /// One force-close hook per live connection.
@@ -124,6 +143,11 @@ impl Server {
     pub fn start(db: Arc<Database>, config: ServerConfig) -> Arc<Server> {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.queue_depth >= 1, "need a positive queue depth");
+        assert!(config.max_streams >= 1, "need at least one stream");
+        assert!(
+            config.max_frame_bytes >= 1024,
+            "max_frame_bytes below 1 KiB cannot carry real requests"
+        );
         let inner = Arc::new(Inner {
             db,
             sessions: SessionManager::new(config.idle_timeout),
@@ -131,6 +155,8 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             queue_depth: config.queue_depth,
+            max_streams: config.max_streams,
+            max_frame: config.max_frame_bytes,
             shutting_down: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             closers: Mutex::new(Vec::new()),
@@ -217,9 +243,9 @@ impl Server {
         Ok(local)
     }
 
-    /// Open an in-process connection speaking the exact same frame codec as
-    /// TCP, over a pair of byte channels.
-    pub fn connect(&self) -> io::Result<crate::client::Client<ChannelStream>> {
+    /// Open the in-process byte channel pair and spawn a connection handler
+    /// for the server side; returns the client side.
+    fn open_channel(&self) -> io::Result<ChannelStream> {
         if self.inner.shutting_down.load(Ordering::SeqCst) {
             return Err(io::Error::new(
                 io::ErrorKind::ConnectionRefused,
@@ -243,7 +269,32 @@ impl Server {
             .name("rx-conn-inproc".into())
             .spawn(move || serve_connection(&inner, server_side))?;
         self.inner.handles.lock().push(h);
-        Ok(crate::client::Client::new(client_side))
+        Ok(client_side)
+    }
+
+    /// Open an in-process connection speaking the exact same frame codec as
+    /// TCP, over a pair of byte channels. Negotiates protocol v2 and wraps
+    /// a single session — the drop-in blocking client.
+    pub fn connect(&self) -> io::Result<crate::client::Client<ChannelStream>> {
+        let stream = self.open_channel()?;
+        crate::client::Client::connect(stream).map_err(client_to_io)
+    }
+
+    /// Open an in-process connection on the legacy v1 lockstep path (no
+    /// handshake) — the compatibility route old clients take.
+    pub fn connect_v1(&self) -> io::Result<crate::client::Client<ChannelStream>> {
+        let stream = self.open_channel()?;
+        crate::client::Client::v1(stream).map_err(client_to_io)
+    }
+
+    /// Open an in-process multiplexed connection: one socket-equivalent,
+    /// many concurrent [`crate::client::Session`]s.
+    pub fn connect_multiplexed(
+        &self,
+        opts: crate::client::ConnectOptions,
+    ) -> io::Result<crate::client::Connection> {
+        let stream = self.open_channel()?;
+        crate::client::Connection::establish(stream, opts).map_err(client_to_io)
     }
 
     /// Current counter snapshot (same data the wire `stats` request
@@ -291,6 +342,12 @@ impl Server {
     }
 }
 
+/// Map a client-side establishment failure into the `io::Result` the
+/// connect helpers promise.
+fn client_to_io(e: crate::client::ClientError) -> io::Error {
+    io::Error::other(e)
+}
+
 fn snapshot(inner: &Inner) -> StatsSnapshot {
     StatsSnapshot {
         requests_total: inner.counters.requests_total.load(Ordering::Relaxed),
@@ -301,6 +358,10 @@ fn snapshot(inner: &Inner) -> StatsSnapshot {
         sessions_opened: inner.counters.sessions_opened.load(Ordering::Relaxed),
         sessions_expired: inner.counters.sessions_expired.load(Ordering::Relaxed),
         sessions_active: inner.sessions.active(),
+        connections_v1: inner.counters.connections_v1.load(Ordering::Relaxed),
+        connections_v2: inner.counters.connections_v2.load(Ordering::Relaxed),
+        streams_opened: inner.counters.streams_opened.load(Ordering::Relaxed),
+        ooo_completions: inner.counters.ooo_completions.load(Ordering::Relaxed),
         latency: std::array::from_fn(|i| inner.counters.latency[i].snapshot()),
         db: inner.db.stats(),
     }
@@ -428,16 +489,97 @@ fn handle_request(inner: &Inner, session: u64, req: Request) -> Response {
     }
 }
 
-/// Serve one connection until EOF or shutdown. Generic over the byte
-/// stream so TCP and the in-process channel transport run the exact same
-/// code path.
-fn serve_connection<S: Read + Write>(inner: &Arc<Inner>, mut stream: S) {
+/// Serve one connection until EOF or shutdown. Generic over the transport
+/// so TCP and the in-process channel run the exact same code path.
+///
+/// The first frame decides the dialect: a [`Hello`] negotiates v2 (or an
+/// explicit downgrade to v1); any other payload is a v1 request from a
+/// client that never heard of handshakes, served on the lockstep path with
+/// that first request replayed.
+fn serve_connection<T: Transport>(inner: &Arc<Inner>, stream: T) {
+    let Ok((mut reader, mut writer, _closer)) = stream.into_split() else {
+        return;
+    };
+    let v1 = FrameCodec::v1(inner.max_frame);
+    let first = match v1.read(&mut reader) {
+        Ok(Some(f)) => f,
+        _ => return,
+    };
+    if first.payload.first() != Some(&proto::OP_HELLO) {
+        serve_v1(inner, reader, writer, Some(first.payload));
+        return;
+    }
+    let hello = match Hello::decode(&first.payload) {
+        Ok(h) => h,
+        Err(msg) => {
+            let resp = Response::Error(WireError {
+                code: ErrorCode::Protocol,
+                message: msg,
+            });
+            let _ = v1.write(&mut writer, &Frame::data(0, resp.encode()));
+            return;
+        }
+    };
+    if hello.version == 0 {
+        // Unknown version: refuse cleanly instead of desyncing the codec.
+        let resp = Response::Error(WireError {
+            code: ErrorCode::UnsupportedVersion,
+            message: format!(
+                "cannot negotiate protocol version {} (this server speaks 1..={})",
+                hello.version,
+                proto::PROTO_MAX_VERSION
+            ),
+        });
+        let _ = v1.write(&mut writer, &Frame::data(0, resp.encode()));
+        return;
+    }
+    let version = hello.version.min(proto::PROTO_MAX_VERSION);
+    let max_streams = hello.max_streams.clamp(1, inner.max_streams);
+    let ack = HelloAck {
+        version,
+        max_streams,
+        max_frame: inner.max_frame as u64,
+    };
+    if v1
+        .write(&mut writer, &Frame::data(0, ack.encode()))
+        .is_err()
+    {
+        return;
+    }
+    if version == 1 {
+        serve_v1(inner, reader, writer, None);
+    } else {
+        serve_v2(inner, reader, writer, max_streams);
+    }
+}
+
+/// The legacy lockstep loop: one session per connection, one request in
+/// flight, responses written by the handler thread itself. `first` replays
+/// a request frame consumed while sniffing for a handshake.
+fn serve_v1<R: Read, W: Write>(
+    inner: &Arc<Inner>,
+    mut reader: R,
+    mut writer: W,
+    mut first: Option<Vec<u8>>,
+) {
+    inner
+        .counters
+        .connections_v1
+        .fetch_add(1, Ordering::Relaxed);
+    let codec = FrameCodec::v1(inner.max_frame);
     let session = inner.sessions.open();
     inner
         .counters
         .sessions_opened
         .fetch_add(1, Ordering::Relaxed);
-    while let Ok(Some(payload)) = read_frame(&mut stream) {
+    loop {
+        let payload = match first.take() {
+            Some(p) => p,
+            None => match codec.read(&mut reader) {
+                Ok(Some(f)) => f.payload,
+                _ => break,
+            },
+        };
         let started = Instant::now();
         inner
             .counters
@@ -454,7 +596,10 @@ fn serve_connection<S: Read + Write>(inner: &Arc<Inner>, mut stream: S) {
                     code: ErrorCode::Protocol,
                     message: msg,
                 });
-                if write_frame(&mut stream, &resp.encode()).is_err() {
+                if codec
+                    .write(&mut writer, &Frame::data(0, resp.encode()))
+                    .is_err()
+                {
                     break;
                 }
                 continue;
@@ -496,7 +641,10 @@ fn serve_connection<S: Read + Write>(inner: &Arc<Inner>, mut stream: S) {
                 .fetch_add(1, Ordering::Relaxed);
         }
         inner.counters.record_latency(class, started.elapsed());
-        if write_frame(&mut stream, &resp.encode()).is_err() {
+        if codec
+            .write(&mut writer, &Frame::data(0, resp.encode()))
+            .is_err()
+        {
             break;
         }
     }
@@ -505,78 +653,229 @@ fn serve_connection<S: Read + Write>(inner: &Arc<Inner>, mut stream: S) {
     inner.sessions.close(session);
 }
 
-/// One side of an in-process connection: `Write` sends whole buffers as
-/// channel messages, `Read` drains them. A shared `closed` flag lets the
-/// server force EOF during shutdown.
-pub struct ChannelStream {
-    tx: mpsc::Sender<Vec<u8>>,
-    rx: mpsc::Receiver<Vec<u8>>,
-    closed: Arc<AtomicBool>,
-    buf: Vec<u8>,
-    pos: usize,
+/// Shared write side of one v2 connection: the writer mutex that
+/// serializes responses, and the dispatch-order ledger behind the
+/// out-of-order-completion counter and the `max_streams` budget.
+struct V2Conn<W: Write> {
+    writer: Mutex<W>,
+    codec: FrameCodec,
+    state: Mutex<V2State>,
 }
 
-impl ChannelStream {
-    fn new(
-        tx: mpsc::Sender<Vec<u8>>,
-        rx: mpsc::Receiver<Vec<u8>>,
-        closed: Arc<AtomicBool>,
-    ) -> ChannelStream {
-        ChannelStream {
-            tx,
-            rx,
-            closed,
-            buf: Vec::new(),
-            pos: 0,
+struct V2State {
+    next_seq: u64,
+    /// Dispatch sequence → stream, for every admitted-but-unanswered
+    /// request on this connection.
+    in_flight: BTreeMap<u64, u32>,
+}
+
+impl<W: Write> V2Conn<W> {
+    /// Serialize one response frame back to the client. Returns whether the
+    /// connection is still writable (a dead connection just means the
+    /// reader will notice EOF next).
+    fn respond(&self, stream: u32, resp: &Response) -> bool {
+        let frame = Frame::data(stream, resp.encode());
+        self.codec.write(&mut *self.writer.lock(), &frame).is_ok()
+    }
+
+    /// Retire `seq` from the in-flight ledger. A retirement while an
+    /// earlier-dispatched request is still in flight is an out-of-order
+    /// completion (`count_ooo` is false on the Busy/refusal path, where
+    /// nothing actually completed).
+    fn retire(&self, seq: u64, inner: &Inner, count_ooo: bool) {
+        let mut st = self.state.lock();
+        let oldest = st.in_flight.keys().next().copied();
+        st.in_flight.remove(&seq);
+        if count_ooo && oldest.is_some_and(|o| o < seq) {
+            inner
+                .counters
+                .ooo_completions
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 }
 
-impl Read for ChannelStream {
-    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
-        loop {
-            if self.pos < self.buf.len() {
-                let n = out.len().min(self.buf.len() - self.pos);
-                out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
-                self.pos += n;
-                return Ok(n);
+/// The v2 demultiplexer: decode frames off the socket, dispatch each
+/// stream's request as an independent job on the worker pool, and let the
+/// jobs write their own responses (out of order, tagged by stream id)
+/// through the shared writer.
+fn serve_v2<R: Read, W: Write + Send + 'static>(
+    inner: &Arc<Inner>,
+    mut reader: R,
+    writer: W,
+    max_streams: u32,
+) {
+    inner
+        .counters
+        .connections_v2
+        .fetch_add(1, Ordering::Relaxed);
+    let conn = Arc::new(V2Conn {
+        writer: Mutex::new(writer),
+        codec: FrameCodec::v2(inner.max_frame),
+        state: Mutex::new(V2State {
+            next_seq: 0,
+            in_flight: BTreeMap::new(),
+        }),
+    });
+    // Stream id → session id; owned by this reader thread alone.
+    let mut streams: HashMap<u32, u64> = HashMap::new();
+    while let Ok(Some(frame)) = conn.codec.read(&mut reader) {
+        let stream = frame.stream;
+        if frame.flags & FLAG_END_STREAM != 0 {
+            // The client is done with this stream: close its session (and
+            // roll back any open transaction). No response.
+            if let Some(sid) = streams.remove(&stream) {
+                inner.sessions.close(sid);
             }
-            if self.closed.load(Ordering::SeqCst) {
-                return Ok(0); // forced EOF
-            }
-            match self.rx.recv_timeout(Duration::from_millis(25)) {
-                Ok(chunk) => {
-                    self.buf = chunk;
-                    self.pos = 0;
+            continue;
+        }
+        let started = Instant::now();
+        inner
+            .counters
+            .requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        let req = match Request::decode(&frame.payload) {
+            Ok(r) => r,
+            Err(msg) => {
+                inner
+                    .counters
+                    .requests_errored
+                    .fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error(WireError {
+                    code: ErrorCode::Protocol,
+                    message: msg,
+                });
+                if !conn.respond(stream, &resp) {
+                    break;
                 }
-                Err(mpsc::RecvTimeoutError::Timeout) => continue,
-                Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(0),
+                continue;
+            }
+        };
+        let session = match streams.get(&stream) {
+            Some(&sid) => sid,
+            None => {
+                let sid = inner.sessions.open();
+                inner
+                    .counters
+                    .sessions_opened
+                    .fetch_add(1, Ordering::Relaxed);
+                inner
+                    .counters
+                    .streams_opened
+                    .fetch_add(1, Ordering::Relaxed);
+                streams.insert(stream, sid);
+                sid
+            }
+        };
+        let class = class_of(&req);
+        // Per-connection budget: admitting more than `max_streams`
+        // concurrent requests answers Busy on the offending stream; the
+        // socket itself never stalls and sibling streams proceed.
+        let seq = {
+            let mut st = conn.state.lock();
+            if st.in_flight.len() >= max_streams as usize {
+                None
+            } else {
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.in_flight.insert(seq, stream);
+                Some(seq)
+            }
+        };
+        let Some(seq) = seq else {
+            inner
+                .counters
+                .requests_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            inner
+                .counters
+                .requests_errored
+                .fetch_add(1, Ordering::Relaxed);
+            inner.counters.record_latency(class, started.elapsed());
+            let resp = Response::Error(WireError {
+                code: ErrorCode::Busy,
+                message: format!("connection stream budget ({max_streams}) exhausted"),
+            });
+            if !conn.respond(stream, &resp) {
+                break;
+            }
+            continue;
+        };
+        let job_inner = Arc::clone(inner);
+        let job_conn = Arc::clone(&conn);
+        let submit = inner.submit(Box::new(move || {
+            let resp = handle_request(&job_inner, session, req);
+            if matches!(resp, Response::Error(_)) {
+                job_inner
+                    .counters
+                    .requests_errored
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            job_inner.counters.record_latency(class, started.elapsed());
+            job_conn.retire(seq, &job_inner, true);
+            job_conn.respond(stream, &resp);
+        }));
+        match submit {
+            Ok(()) => {}
+            Err(refused) => {
+                conn.retire(seq, inner, false);
+                let resp = match refused {
+                    Refused::Busy => {
+                        inner
+                            .counters
+                            .requests_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        Response::Error(WireError {
+                            code: ErrorCode::Busy,
+                            message: "admission queue full".into(),
+                        })
+                    }
+                    Refused::ShuttingDown => Response::Error(WireError {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is shutting down".into(),
+                    }),
+                };
+                inner
+                    .counters
+                    .requests_errored
+                    .fetch_add(1, Ordering::Relaxed);
+                inner.counters.record_latency(class, started.elapsed());
+                if !conn.respond(stream, &resp) {
+                    break;
+                }
             }
         }
     }
+    // EOF, IO error, or forced close: every stream session (and any open
+    // transaction) dies with the connection. In-flight jobs still retire
+    // against the shared state and fail their writes harmlessly.
+    inner.sessions.close_many(streams.into_values());
 }
 
-impl Write for ChannelStream {
-    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
-        if self.closed.load(Ordering::SeqCst) {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "closed"));
-        }
-        self.tx
-            .send(data.to_vec())
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))?;
-        Ok(data.len())
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        Ok(())
-    }
-}
-
-/// Convenience: connect a TCP client to `addr`.
+/// Connect a TCP client to `addr`: negotiate protocol v2 and wrap a single
+/// session (the drop-in blocking client).
 pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<crate::client::Client<TcpStream>> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
-    Ok(crate::client::Client::new(stream))
+    crate::client::Client::connect(stream).map_err(client_to_io)
+}
+
+/// Connect a TCP client on the legacy v1 lockstep path (no handshake).
+pub fn connect_tcp_v1(addr: impl ToSocketAddrs) -> io::Result<crate::client::Client<TcpStream>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    crate::client::Client::v1(stream).map_err(client_to_io)
+}
+
+/// Open a multiplexed TCP connection: one socket, many concurrent
+/// [`crate::client::Session`]s.
+pub fn connect_tcp_multiplexed(
+    addr: impl ToSocketAddrs,
+    opts: crate::client::ConnectOptions,
+) -> io::Result<crate::client::Connection> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    crate::client::Connection::establish(stream, opts).map_err(client_to_io)
 }
 
 #[cfg(test)]
@@ -598,6 +897,7 @@ mod tests {
                 workers,
                 queue_depth,
                 idle_timeout: Duration::from_secs(30),
+                ..ServerConfig::default()
             },
         )
     }

@@ -1,5 +1,7 @@
-//! Session management: one session per connection, each owning at most one
-//! open [`Txn`], with idle-timeout reaping.
+//! Session management: one session per v1 connection — or per *stream* of
+//! a v2 multiplexed connection — each owning at most one open [`Txn`],
+//! with idle-timeout reaping. Transaction state is keyed by session id, so
+//! the demultiplexer gets independent per-stream transactions for free.
 //!
 //! A session with no explicit transaction runs each request in autocommit
 //! mode (begin → op → commit, rollback on error). Sessions idle past the
@@ -79,6 +81,14 @@ impl SessionManager {
             if let Some(txn) = txn {
                 let _ = txn.rollback();
             }
+        }
+    }
+
+    /// Close a batch of sessions (a multiplexed connection tearing down all
+    /// of its stream sessions at once).
+    pub fn close_many(&self, ids: impl IntoIterator<Item = u64>) {
+        for id in ids {
+            self.close(id);
         }
     }
 

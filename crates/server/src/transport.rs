@@ -1,0 +1,202 @@
+//! Byte-stream transports, and the split that multiplexing requires.
+//!
+//! Protocol v2 runs a dedicated reader (demultiplexer) concurrently with
+//! writers on the same connection, so a transport must come apart into
+//! independently owned read/write halves plus a hangup hook that unblocks a
+//! reader parked in `read`. [`Transport`] captures that; it is implemented
+//! for [`TcpStream`] (via `try_clone`) and for the in-process
+//! [`ChannelStream`], so TCP and in-process connections run the exact same
+//! framing and demultiplexing code.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// A hangup hook: forces a blocked reader of the same connection to return
+/// (EOF or an error), so reader threads can be shut down from outside.
+pub type Closer = Box<dyn Fn() + Send + Sync>;
+
+/// A connection byte stream that can be split into independently owned
+/// read/write halves.
+pub trait Transport: Send + 'static {
+    /// The read half.
+    type Reader: Read + Send + 'static;
+    /// The write half.
+    type Writer: Write + Send + 'static;
+
+    /// Split into `(reader, writer, closer)`. The closer unblocks a reader
+    /// parked in `read` (connection hangup), idempotently.
+    fn into_split(self) -> io::Result<(Self::Reader, Self::Writer, Closer)>;
+}
+
+impl Transport for TcpStream {
+    type Reader = TcpStream;
+    type Writer = TcpStream;
+
+    fn into_split(self) -> io::Result<(TcpStream, TcpStream, Closer)> {
+        let writer = self.try_clone()?;
+        let hangup = self.try_clone()?;
+        Ok((
+            self,
+            writer,
+            Box::new(move || {
+                let _ = hangup.shutdown(std::net::Shutdown::Both);
+            }),
+        ))
+    }
+}
+
+/// One side of an in-process connection: `Write` sends whole buffers as
+/// channel messages, `Read` drains them. A shared `closed` flag lets either
+/// side (or the server's shutdown path) force EOF.
+pub struct ChannelStream {
+    reader: ChannelReader,
+    writer: ChannelWriter,
+}
+
+/// The read half of a [`ChannelStream`].
+pub struct ChannelReader {
+    rx: mpsc::Receiver<Vec<u8>>,
+    closed: Arc<AtomicBool>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+/// The write half of a [`ChannelStream`].
+pub struct ChannelWriter {
+    tx: mpsc::Sender<Vec<u8>>,
+    closed: Arc<AtomicBool>,
+}
+
+impl ChannelStream {
+    pub(crate) fn new(
+        tx: mpsc::Sender<Vec<u8>>,
+        rx: mpsc::Receiver<Vec<u8>>,
+        closed: Arc<AtomicBool>,
+    ) -> ChannelStream {
+        ChannelStream {
+            reader: ChannelReader {
+                rx,
+                closed: Arc::clone(&closed),
+                buf: Vec::new(),
+                pos: 0,
+            },
+            writer: ChannelWriter { tx, closed },
+        }
+    }
+}
+
+impl Transport for ChannelStream {
+    type Reader = ChannelReader;
+    type Writer = ChannelWriter;
+
+    fn into_split(self) -> io::Result<(ChannelReader, ChannelWriter, Closer)> {
+        let closed = Arc::clone(&self.writer.closed);
+        Ok((
+            self.reader,
+            self.writer,
+            Box::new(move || closed.store(true, Ordering::SeqCst)),
+        ))
+    }
+}
+
+impl Read for ChannelStream {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        self.reader.read(out)
+    }
+}
+
+impl Write for ChannelStream {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.writer.write(data)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+impl Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.pos < self.buf.len() {
+                let n = out.len().min(self.buf.len() - self.pos);
+                out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+                self.pos += n;
+                return Ok(n);
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                return Ok(0); // forced EOF
+            }
+            match self.rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(chunk) => {
+                    self.buf = chunk;
+                    self.pos = 0;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(0),
+            }
+        }
+    }
+}
+
+impl Write for ChannelWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "closed"));
+        }
+        self.tx
+            .send(data.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))?;
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (ChannelStream, ChannelStream) {
+        let (a_tx, a_rx) = mpsc::channel();
+        let (b_tx, b_rx) = mpsc::channel();
+        let closed = Arc::new(AtomicBool::new(false));
+        (
+            ChannelStream::new(a_tx, b_rx, Arc::clone(&closed)),
+            ChannelStream::new(b_tx, a_rx, closed),
+        )
+    }
+
+    #[test]
+    fn split_halves_keep_talking() {
+        let (left, right) = pair();
+        let (mut lr, mut lw, _closer) = left.into_split().unwrap();
+        let (mut rr, mut rw, _closer2) = right.into_split().unwrap();
+        lw.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        rr.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        rw.write_all(b"pong").unwrap();
+        lr.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn closer_forces_eof_on_a_blocked_reader() {
+        let (left, right) = pair();
+        let (mut lr, _lw, closer) = left.into_split().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            lr.read(&mut buf).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        closer();
+        assert_eq!(t.join().unwrap(), 0, "closer must force EOF");
+        drop(right);
+    }
+}

@@ -1,11 +1,16 @@
-//! Serve a database over loopback TCP and talk to it from two clients.
+//! Serve a database over loopback TCP and talk to it three ways: a
+//! blocking client in an explicit transaction, a plain reader, and a
+//! protocol-v2 multiplexed connection pipelining several sessions over one
+//! socket.
 //!
 //! Run with: `cargo run --example server_quickstart`
 
 use std::time::Duration;
 
 use system_rx::engine::{ColValue, ColumnKind, Database};
-use system_rx::server::{connect_tcp, ReqClass, Server, ServerConfig};
+use system_rx::server::{
+    connect_tcp, connect_tcp_multiplexed, ConnectOptions, ReqClass, Server, ServerConfig,
+};
 
 fn main() {
     // An in-memory database with one table: a string key plus an XML column.
@@ -23,6 +28,7 @@ fn main() {
             workers: 4,
             queue_depth: 32,
             idle_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
         },
     );
     let addr = server.listen(("127.0.0.1", 0)).expect("bind listener");
@@ -56,6 +62,34 @@ fn main() {
     let again = reader.query("orders", "doc", "/order/total").unwrap();
     assert_eq!(again.len(), hits.len());
 
+    // The pipelined API: ONE connection, many concurrent sessions. Each
+    // session has independent transaction state; requests from different
+    // sessions overlap on the wire and may complete out of order.
+    let conn = connect_tcp_multiplexed(addr, ConnectOptions::default()).expect("connect mux");
+    let workers: Vec<_> = (0..4)
+        .map(|i| {
+            let mut session = conn.session();
+            std::thread::spawn(move || {
+                session.begin().unwrap();
+                let doc = session
+                    .insert_row(
+                        "orders",
+                        vec![
+                            ColValue::Str(format!("mux-{i}")),
+                            ColValue::Xml(format!("<order><total>{}</total></order>", 10 * i)),
+                        ],
+                    )
+                    .unwrap();
+                session.commit().unwrap();
+                doc
+            })
+        })
+        .collect();
+    for w in workers {
+        let doc = w.join().unwrap();
+        println!("mux: committed doc {doc}");
+    }
+
     // The admin stats surface: server counters plus engine counters.
     let stats = reader.stats().unwrap();
     println!("\n-- server stats --");
@@ -66,6 +100,10 @@ fn main() {
     println!(
         "sessions opened/active/expired:  {}/{}/{}",
         stats.sessions_opened, stats.sessions_active, stats.sessions_expired
+    );
+    println!(
+        "connections v1/v2: {}/{}, streams opened {}, out-of-order completions {}",
+        stats.connections_v1, stats.connections_v2, stats.streams_opened, stats.ooo_completions
     );
     for class in ReqClass::all() {
         let l = &stats.latency[class as usize];

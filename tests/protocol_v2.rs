@@ -1,0 +1,283 @@
+//! Protocol v2 wire-level tests: property-based frame round-trips for both
+//! codec versions, handshake negotiation (v2, explicit v1 downgrade,
+//! unknown-version refusal), frame-size-bound enforcement, and full
+//! backwards compatibility for v1 clients against a v2 server.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use std::sync::Arc;
+use std::time::Duration;
+
+use system_rx::engine::{ColValue, ColumnKind, Database};
+use system_rx::server::{
+    connect_tcp_multiplexed, Client, ClientError, ConnectOptions, ErrorCode, Frame, FrameCodec,
+    Server, ServerConfig,
+};
+
+// ---------------------------------------------------------------------------
+// Frame codec properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn v2_frames_round_trip(
+        stream in any::<u32>(),
+        flags in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let codec = FrameCodec::v2(1 << 20);
+        let frame = Frame { stream, flags, payload };
+        let mut wire = Vec::new();
+        codec.write(&mut wire, &frame).unwrap();
+        let mut r = Cursor::new(wire);
+        let back = codec.read(&mut r).unwrap().expect("frame must decode");
+        prop_assert_eq!(back.stream, frame.stream);
+        prop_assert_eq!(back.flags, frame.flags);
+        prop_assert_eq!(back.payload, frame.payload);
+        // And the stream ends cleanly after exactly one frame.
+        prop_assert!(codec.read(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn v1_frames_round_trip(payload in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let codec = FrameCodec::v1(1 << 20);
+        let frame = Frame::data(0, payload.clone());
+        let mut wire = Vec::new();
+        codec.write(&mut wire, &frame).unwrap();
+        let back = codec.read(&mut Cursor::new(wire)).unwrap().unwrap();
+        prop_assert_eq!(back.stream, 0u32);
+        prop_assert_eq!(back.flags, 0u8);
+        prop_assert_eq!(back.payload, payload);
+    }
+
+    #[test]
+    fn back_to_back_v2_frames_never_desync(
+        frames in prop::collection::vec(
+            (any::<u32>(), any::<u8>(), prop::collection::vec(any::<u8>(), 0..256)),
+            1..16,
+        ),
+    ) {
+        let codec = FrameCodec::v2(1 << 20);
+        let mut wire = Vec::new();
+        for (stream, flags, payload) in &frames {
+            codec.write(&mut wire, &Frame {
+                stream: *stream,
+                flags: *flags,
+                payload: payload.clone(),
+            }).unwrap();
+        }
+        let mut r = Cursor::new(wire);
+        for (stream, flags, payload) in &frames {
+            let back = codec.read(&mut r).unwrap().expect("lost a frame");
+            prop_assert_eq!(back.stream, *stream);
+            prop_assert_eq!(back.flags, *flags);
+            prop_assert_eq!(&back.payload, payload);
+        }
+        prop_assert!(codec.read(&mut r).unwrap().is_none());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame-size bound
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oversized_frames_rejected_without_allocation() {
+    let codec = FrameCodec::v2(4096);
+    // Write side refuses to emit a frame over the bound.
+    let fat = Frame::data(1, vec![0u8; 5000]);
+    let mut wire = Vec::new();
+    assert!(codec.write(&mut wire, &fat).is_err());
+    // Read side rejects a hostile length prefix before allocating: claim
+    // 3 GiB with only 8 bytes behind it.
+    let mut hostile = Vec::new();
+    hostile.extend_from_slice(&(3u32 << 30).to_le_bytes());
+    hostile.extend_from_slice(&[0u8; 8]);
+    let err = codec.read(&mut Cursor::new(hostile)).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+// ---------------------------------------------------------------------------
+// Handshake negotiation
+// ---------------------------------------------------------------------------
+
+fn start_server() -> (Arc<Server>, std::net::SocketAddr) {
+    let db = Database::create_in_memory().unwrap();
+    db.create_table(
+        "items",
+        &[("sku", ColumnKind::Str), ("doc", ColumnKind::Xml)],
+    )
+    .unwrap();
+    let server = Server::start(
+        db,
+        ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+            idle_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.listen(("127.0.0.1", 0)).unwrap();
+    (server, addr)
+}
+
+#[test]
+fn handshake_negotiates_v2_by_default() {
+    let (server, addr) = start_server();
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut c = Client::connect(stream).unwrap();
+    assert_eq!(c.protocol_version(), 2);
+    c.ping().unwrap();
+    assert_eq!(server.stats().connections_v2, 1);
+    server.shutdown();
+}
+
+#[test]
+fn asking_for_a_future_version_lands_on_v2() {
+    let (server, addr) = start_server();
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut c = Client::connect_with(
+        stream,
+        ConnectOptions {
+            version: 9,
+            ..ConnectOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(c.protocol_version(), 2, "server caps at what it speaks");
+    c.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn explicit_downgrade_to_v1_is_honored() {
+    let (server, addr) = start_server();
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut c = Client::connect_with(
+        stream,
+        ConnectOptions {
+            version: 1,
+            ..ConnectOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(c.protocol_version(), 1);
+    // The downgraded connection still does real work, lockstep.
+    let doc = c
+        .insert_row(
+            "items",
+            vec![ColValue::Str("v1".into()), ColValue::Xml("<item/>".into())],
+        )
+        .unwrap();
+    assert!(c.fetch_row("items", doc).unwrap().is_some());
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.connections_v1, 1);
+    assert_eq!(stats.connections_v2, 0);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_version_refused_cleanly() {
+    let (server, addr) = start_server();
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let err = match Client::connect_with(
+        stream,
+        ConnectOptions {
+            version: 0,
+            ..ConnectOptions::default()
+        },
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("version 0 must be refused"),
+    };
+    match err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::UnsupportedVersion),
+        other => panic!("expected UnsupportedVersion, got {other}"),
+    }
+    // The refusal did not wedge the server: a well-behaved client connects.
+    let mut ok = system_rx::server::connect_tcp(addr).unwrap();
+    ok.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn connection_establish_refuses_downgrade() {
+    let (server, addr) = start_server();
+    let err = match connect_tcp_multiplexed(
+        addr,
+        ConnectOptions {
+            version: 1,
+            ..ConnectOptions::default()
+        },
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("downgrade must fail Connection::establish"),
+    };
+    // A multiplexed Connection cannot run on lockstep v1.
+    assert!(err.to_string().contains("v1"), "{err}");
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// v1 compatibility against a v2 server
+// ---------------------------------------------------------------------------
+
+#[test]
+fn raw_v1_client_full_workload_against_v2_server() {
+    // Byte-for-byte what a pre-v2 binary sends: no Hello at all. The
+    // server must sniff the first frame and serve the lockstep path.
+    let (server, addr) = start_server();
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut c = Client::v1(stream).unwrap();
+    assert_eq!(c.protocol_version(), 1);
+    c.ping().unwrap();
+    c.begin().unwrap();
+    let doc = c
+        .insert_row(
+            "items",
+            vec![
+                ColValue::Str("legacy".into()),
+                ColValue::Xml("<item><price>9</price></item>".into()),
+            ],
+        )
+        .unwrap();
+    c.commit().unwrap();
+    let row = c.fetch_row("items", doc).unwrap().expect("committed row");
+    assert_eq!(row.values[0], "legacy");
+    let hits = c.query("items", "doc", "/item/price").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].value, "9");
+    assert!(c.delete_row("items", doc).unwrap());
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.connections_v1, 1);
+    assert_eq!(stats.streams_opened, 0);
+    server.shutdown();
+}
+
+#[test]
+fn v1_and_v2_clients_share_one_server() {
+    let (server, addr) = start_server();
+    let mut old = Client::v1(std::net::TcpStream::connect(addr).unwrap()).unwrap();
+    let conn = connect_tcp_multiplexed(addr, ConnectOptions::default()).unwrap();
+    let mut new = conn.session();
+    let d1 = old
+        .insert_row(
+            "items",
+            vec![ColValue::Str("old".into()), ColValue::Xml("<item/>".into())],
+        )
+        .unwrap();
+    let d2 = new
+        .insert_row(
+            "items",
+            vec![ColValue::Str("new".into()), ColValue::Xml("<item/>".into())],
+        )
+        .unwrap();
+    assert_ne!(d1, d2);
+    // Each dialect sees the other's committed writes.
+    assert!(old.fetch_row("items", d2).unwrap().is_some());
+    assert!(new.fetch_row("items", d1).unwrap().is_some());
+    let stats = new.stats().unwrap();
+    assert_eq!(stats.connections_v1, 1);
+    assert_eq!(stats.connections_v2, 1);
+    server.shutdown();
+}

@@ -8,23 +8,28 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use system_rx::engine::{ColValue, ColumnKind, Database};
-use system_rx::server::{connect_tcp, Client, ClientError, ReqClass, Server, ServerConfig};
+use system_rx::server::{
+    connect_tcp, connect_tcp_multiplexed, Client, ClientError, ConnectOptions, ReqClass, Server,
+    ServerConfig,
+};
 
 fn start_server(workers: usize, queue_depth: usize) -> (Arc<Server>, std::net::SocketAddr) {
+    start_server_with(ServerConfig {
+        workers,
+        queue_depth,
+        idle_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    })
+}
+
+fn start_server_with(config: ServerConfig) -> (Arc<Server>, std::net::SocketAddr) {
     let db = Database::create_in_memory().unwrap();
     db.create_table(
         "items",
         &[("sku", ColumnKind::Str), ("doc", ColumnKind::Xml)],
     )
     .unwrap();
-    let server = Server::start(
-        db,
-        ServerConfig {
-            workers,
-            queue_depth,
-            idle_timeout: Duration::from_secs(30),
-        },
-    );
+    let server = Server::start(db, config);
     let addr = server.listen(("127.0.0.1", 0)).unwrap();
     (server, addr)
 }
@@ -198,4 +203,188 @@ fn shutdown_rolls_back_abandoned_sessions() {
         hits
     };
     assert!(hits.is_empty(), "rolled-back insert leaked: {hits:?}");
+}
+
+#[test]
+fn interleaved_streams_on_one_connection() {
+    // Many sessions multiplexed over ONE TCP connection, each running its
+    // own explicit transaction concurrently. Per-stream transaction state
+    // must never bleed between sessions sharing the socket.
+    const SESSIONS: usize = 6;
+    const ROWS_PER_SESSION: usize = 8;
+
+    let (server, addr) = start_server(4, 64);
+    let conn = connect_tcp_multiplexed(addr, ConnectOptions::default()).unwrap();
+    let mut handles = Vec::new();
+    for owner in 0..SESSIONS {
+        let mut s = conn.session();
+        handles.push(std::thread::spawn(move || {
+            s.begin().unwrap();
+            let mut docs = Vec::new();
+            for seq in 0..ROWS_PER_SESSION {
+                let doc = s
+                    .insert_row(
+                        "items",
+                        vec![
+                            ColValue::Str(format!("mux-{owner}-{seq}")),
+                            ColValue::Xml(item_xml(owner, seq)),
+                        ],
+                    )
+                    .unwrap();
+                docs.push((doc, seq));
+            }
+            // Uncommitted rows are visible inside this session's txn...
+            for &(doc, seq) in &docs {
+                let row = s.fetch_row("items", doc).unwrap().expect("own write lost");
+                assert_eq!(row.values[0], format!("mux-{owner}-{seq}"));
+            }
+            s.commit().unwrap();
+            docs.into_iter().map(|(d, _)| d).collect::<Vec<u64>>()
+        }));
+    }
+    let mut all_docs = Vec::new();
+    for h in handles {
+        all_docs.extend(h.join().unwrap());
+    }
+    let unique: HashSet<u64> = all_docs.iter().copied().collect();
+    assert_eq!(
+        unique.len(),
+        all_docs.len(),
+        "duplicate DocIDs across streams"
+    );
+    assert_eq!(all_docs.len(), SESSIONS * ROWS_PER_SESSION);
+
+    let mut verify = conn.session();
+    let hits = verify.query("items", "doc", "/item/seq").unwrap();
+    assert_eq!(hits.len(), SESSIONS * ROWS_PER_SESSION);
+    let stats = verify.stats().unwrap();
+    assert_eq!(stats.connections_v2, 1, "all traffic rode one connection");
+    assert!(
+        stats.streams_opened as usize >= SESSIONS,
+        "each session is its own stream: {} < {SESSIONS}",
+        stats.streams_opened
+    );
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_sleeps_complete_out_of_order() {
+    // One slow and several fast requests on sibling streams: the fast ones
+    // must overtake the slow one, which the server counts as out-of-order
+    // completions.
+    let (server, addr) = start_server(4, 64);
+    let conn = connect_tcp_multiplexed(addr, ConnectOptions::default()).unwrap();
+    let mut slow = conn.session();
+    let slow_h = std::thread::spawn(move || slow.sleep_ms(300));
+    // Give the slow request time to get dispatched first.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut fast = conn.session();
+    let started = std::time::Instant::now();
+    fast.ping().unwrap();
+    assert!(
+        started.elapsed() < Duration::from_millis(200),
+        "fast stream must not wait behind the slow one"
+    );
+    slow_h.join().unwrap().unwrap();
+    let stats = conn.session().stats().unwrap();
+    assert!(
+        stats.ooo_completions >= 1,
+        "overtaking must be counted: {}",
+        stats.ooo_completions
+    );
+    server.shutdown();
+}
+
+#[test]
+fn stream_budget_answers_busy_per_stream() {
+    // Server grants at most 2 concurrent in-flight requests per connection:
+    // with two sleeps holding the budget, a third stream gets Busy while a
+    // second *connection* still proceeds.
+    let (server, addr) = start_server_with(ServerConfig {
+        workers: 4,
+        queue_depth: 64,
+        idle_timeout: Duration::from_secs(30),
+        max_streams: 2,
+        ..ServerConfig::default()
+    });
+    let conn = connect_tcp_multiplexed(addr, ConnectOptions::default()).unwrap();
+    assert_eq!(
+        conn.max_streams(),
+        2,
+        "server must clamp the granted budget"
+    );
+    let mut s1 = conn.session();
+    let mut s2 = conn.session();
+    let h1 = std::thread::spawn(move || s1.sleep_ms(400));
+    let h2 = std::thread::spawn(move || s2.sleep_ms(400));
+    // Wait until both sleeps are in flight on the connection.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if server.stats().requests_in_flight >= 2 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "sleeps never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut probe = conn.session();
+    let err = probe.ping().unwrap_err();
+    assert!(err.is_busy(), "expected per-stream Busy, got: {err}");
+    // A fresh connection has its own budget and sails through.
+    let mut other = connect_tcp(addr).unwrap();
+    other.ping().unwrap();
+    h1.join().unwrap().unwrap();
+    h2.join().unwrap().unwrap();
+    // Budget released: the same connection works again.
+    probe.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn multiplexing_stress() {
+    // Scaled by RX_STRESS_THREADS (CI's contended-storage job sets it);
+    // defaults small enough for a laptop test run.
+    let sessions: usize = std::env::var("RX_STRESS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let (server, addr) = start_server(4, 256);
+    let conn = connect_tcp_multiplexed(
+        addr,
+        ConnectOptions {
+            max_streams: sessions as u32,
+            ..ConnectOptions::default()
+        },
+    )
+    .unwrap();
+    let mut handles = Vec::new();
+    for owner in 0..sessions {
+        let mut s = conn.session();
+        handles.push(std::thread::spawn(move || {
+            for seq in 0..20 {
+                loop {
+                    match s.insert_row(
+                        "items",
+                        vec![
+                            ColValue::Str(format!("stress-{owner}-{seq}")),
+                            ColValue::Xml(item_xml(owner, seq)),
+                        ],
+                    ) {
+                        Ok(_) => break,
+                        Err(e) if e.is_busy() => std::thread::sleep(Duration::from_millis(1)),
+                        Err(e) => panic!("stream {owner} failed: {e}"),
+                    }
+                }
+                if seq % 4 == 3 {
+                    s.query("items", "doc", "/item/owner").unwrap();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut verify = conn.session();
+    let hits = verify.query("items", "doc", "/item/seq").unwrap();
+    assert_eq!(hits.len(), sessions * 20, "lost inserts under multiplexing");
+    server.shutdown();
 }
