@@ -25,6 +25,18 @@ pub fn mem_db(target_record_size: usize) -> Arc<Database> {
     .expect("in-memory database")
 }
 
+/// An in-memory database with the given target record size and a document
+/// record-cache budget (0 = cache off, the default everywhere else).
+pub fn mem_db_cached(target_record_size: usize, doc_cache_bytes: usize) -> Arc<Database> {
+    Database::create_in_memory_with(DbConfig {
+        target_record_size,
+        buffer_pages: 16_384,
+        doc_cache_bytes,
+        ..Default::default()
+    })
+    .expect("in-memory database")
+}
+
 /// Create `products` single-product documents in a `products` table with
 /// price and discount value indexes. Returns the table and the spec.
 pub fn load_product_docs(db: &Arc<Database>, products: usize) -> (Arc<BaseTable>, CatalogSpec) {

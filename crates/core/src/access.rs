@@ -484,14 +484,19 @@ fn evaluate_docs(
     let chunk = docs.len().div_ceil(lanes.min(docs.len()));
     type PartResult = Result<(Vec<QueryHit>, AccessStats)>;
     let mut tasks: Vec<Box<dyn FnOnce() -> PartResult + Send>> = Vec::new();
-    for slice in docs.chunks(chunk) {
+    // One shared candidate list; each lane gets a (start, len) window into
+    // it instead of its own copy of the slice.
+    let docs: Arc<[DocId]> = docs.into();
+    for start in (0..docs.len()).step_by(chunk) {
+        let len = chunk.min(docs.len() - start);
         let column = Arc::clone(column);
         let dict = Arc::clone(dict);
         let tree = Arc::clone(tree);
-        let part = slice.to_vec();
+        let docs = Arc::clone(&docs);
         tasks.push(Box::new(move || {
             let mut stats = AccessStats::default();
-            let hits = evaluate_doc_list(&column, &dict, &tree, &part, skip_missing, &mut stats)?;
+            let part = &docs[start..start + len];
+            let hits = evaluate_doc_list(&column, &dict, &tree, part, skip_missing, &mut stats)?;
             Ok((hits, stats))
         }));
     }
@@ -601,16 +606,31 @@ pub fn execute_tree(
                     stats.candidates = nodes.len() as u64;
                     if !verify {
                         // Exact list, result = anchor nodes: emit directly.
+                        // `nodes` iterates in (doc, node) order, so one
+                        // traverser per document serves all of its anchors —
+                        // sharing the document-cache snapshot and the
+                        // ceiling-probe memo, consecutive anchors that live
+                        // in the same record cost one fetch, not one each.
+                        let xml = column.xml_table();
                         let mut hits = Vec::with_capacity(nodes.len());
+                        let mut cur: Option<(DocId, crate::traverse::Traverser<'_>)> = None;
                         for (doc, node) in nodes {
-                            let value =
-                                crate::traverse::string_value(column.xml_table(), doc, &node)?;
-                            stats.records_fetched += 1;
+                            if cur.as_ref().map(|(d, _)| *d) != Some(doc) {
+                                if let Some((_, done)) = cur.take() {
+                                    stats.records_fetched += done.stats.records_fetched;
+                                }
+                                cur = Some((doc, crate::traverse::Traverser::new(xml, doc)));
+                            }
+                            let (_, t) = cur.as_mut().expect("traverser bound above");
+                            let value = t.string_value(&node)?;
                             hits.push(QueryHit {
                                 doc,
                                 node: Some(node),
                                 value,
                             });
+                        }
+                        if let Some((_, done)) = cur {
+                            stats.records_fetched += done.stats.records_fetched;
                         }
                         return Ok((hits, stats));
                     }

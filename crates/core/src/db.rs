@@ -56,6 +56,11 @@ pub struct DbConfig {
     /// Plan-cache capacity in entries (compiled `QueryTree` + `AccessPlan`
     /// per distinct query). 0 disables the cache.
     pub plan_cache_capacity: usize,
+    /// Document record-cache budget in bytes, shared by every XML table of
+    /// the database (§3.4 traversal short-circuit). 0 disables the cache;
+    /// repeated traversals of a hot document then always re-probe the NodeID
+    /// index and re-fetch records through the buffer pool.
+    pub doc_cache_bytes: usize,
 }
 
 impl Default for DbConfig {
@@ -66,6 +71,7 @@ impl Default for DbConfig {
             lock_timeout: Duration::from_secs(2),
             query_workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             plan_cache_capacity: 128,
+            doc_cache_bytes: 0,
         }
     }
 }
@@ -154,6 +160,14 @@ pub struct DbStats {
     pub plan_cache_misses: u64,
     /// Compiled plans currently cached.
     pub plan_cache_entries: u64,
+    /// Document-cache lookups that found a valid snapshot.
+    pub doc_cache_hits: u64,
+    /// Document-cache lookups that fell through to the buffer pool.
+    pub doc_cache_misses: u64,
+    /// Document snapshots evicted to stay inside the byte budget.
+    pub doc_cache_evictions: u64,
+    /// Bytes currently held by resident document snapshots.
+    pub doc_cache_bytes: u64,
 }
 
 /// Column kinds of a base table.
@@ -359,6 +373,7 @@ pub struct Database {
     dict_persisted: parking_lot::Mutex<(usize, usize)>,
     executor: crate::executor::QueryExecutor,
     plan_cache: crate::executor::PlanCache,
+    doc_cache: Arc<crate::doccache::DocCache>,
 }
 
 impl Database {
@@ -405,6 +420,7 @@ impl Database {
         let txns = TxnManager::new(wal, locks);
         let executor = crate::executor::QueryExecutor::new(config.query_workers);
         let plan_cache = crate::executor::PlanCache::new(config.plan_cache_capacity);
+        let doc_cache = crate::doccache::DocCache::new(config.doc_cache_bytes);
         Ok(Arc::new(Database {
             config,
             storage,
@@ -417,6 +433,7 @@ impl Database {
             dict_persisted: parking_lot::Mutex::new((1, 0)),
             executor,
             plan_cache,
+            doc_cache,
         }))
     }
 
@@ -443,6 +460,7 @@ impl Database {
         let txns = TxnManager::new(wal, locks);
         let executor = crate::executor::QueryExecutor::new(config.query_workers);
         let plan_cache = crate::executor::PlanCache::new(config.plan_cache_capacity);
+        let doc_cache = crate::doccache::DocCache::new(config.doc_cache_bytes);
         let db = Arc::new(Database {
             config,
             storage,
@@ -455,6 +473,7 @@ impl Database {
             dict_persisted: parking_lot::Mutex::new((0, 0)),
             executor,
             plan_cache,
+            doc_cache,
         });
         // Load all tables so recovery can reach every space.
         let mut env = RecoveryEnv::default();
@@ -635,7 +654,17 @@ impl Database {
             plan_cache_hits: self.plan_cache.hits(),
             plan_cache_misses: self.plan_cache.misses(),
             plan_cache_entries: self.plan_cache.len() as u64,
+            doc_cache_hits: self.doc_cache.hits(),
+            doc_cache_misses: self.doc_cache.misses(),
+            doc_cache_evictions: self.doc_cache.evictions(),
+            doc_cache_bytes: self.doc_cache.resident_bytes(),
         }
+    }
+
+    /// The shared document record cache (disabled when
+    /// [`DbConfig::doc_cache_bytes`] is 0).
+    pub fn doc_cache(&self) -> &Arc<crate::doccache::DocCache> {
+        &self.doc_cache
     }
 
     fn allocate_space(&self) -> Result<Arc<TableSpace>> {
@@ -687,10 +716,12 @@ impl Database {
             if *kind == ColumnKind::Xml {
                 let space = self.allocate_space()?;
                 col_spaces.push(space.id());
+                let xml = XmlTable::create(space)?;
+                xml.set_doc_cache(Arc::clone(&self.doc_cache));
                 xml_columns.push(Arc::new(XmlColumn {
                     name: (*cname).to_string(),
                     position: pos,
-                    xml: XmlTable::create(space)?,
+                    xml,
                     indexes: RwLock::new(Vec::new()),
                     ft_indexes: RwLock::new(Vec::new()),
                 }));
@@ -764,10 +795,12 @@ impl Database {
         let docid_index = BTree::open(base_space, DOCID_INDEX_ANCHOR)?;
         let mut xml_columns = Vec::new();
         for (cname, pos, space) in xml_cols_raw {
+            let xml = XmlTable::open(self.open_space(space)?)?;
+            xml.set_doc_cache(Arc::clone(&self.doc_cache));
             let col = Arc::new(XmlColumn {
                 name: cname.clone(),
                 position: pos,
-                xml: XmlTable::open(self.open_space(space)?)?,
+                xml,
                 indexes: RwLock::new(Vec::new()),
                 ft_indexes: RwLock::new(Vec::new()),
             });
@@ -871,6 +904,11 @@ impl Database {
         self.catalog.delete(&k_doccnt(t.def.id))?;
         self.tables.write().remove(name);
         self.plan_cache.invalidate_table(t.def.id);
+        // A recreated table may reuse the dropped table's document IDs, so
+        // cached snapshots (and writer epoch state) for its spaces must go.
+        for col in t.xml_columns() {
+            self.doc_cache.invalidate_space(col.xml.space_id());
+        }
         // DDL is durable immediately.
         self.pool.flush_all()?;
         Ok(())

@@ -23,6 +23,8 @@
 //! * [`conc`] / [`mvcc`] — DocID locking, node-prefix multi-granularity
 //!   locking, and document multiversioning (§5);
 //! * [`executor`] — the shared query worker pool and plan cache;
+//! * [`doccache`] — the versioned hot-document record cache above the
+//!   buffer pool;
 //! * [`db`] — the database façade (tables, columns, schemas, recovery);
 //! * [`sqlxml`] — the SQL/XML statement layer (§2);
 //! * [`shred`] / [`lob`] — the one-node-per-row and LOB storage **baselines**
@@ -34,6 +36,7 @@ pub mod access;
 pub mod conc;
 pub mod construct;
 pub mod db;
+pub mod doccache;
 pub mod error;
 pub mod executor;
 pub mod fulltext;
@@ -53,6 +56,7 @@ pub use access::{AccessPlan, AccessStats, QueryHit};
 pub use db::{
     BaseTable, ColValue, ColumnKind, Database, DbConfig, DbStats, Row, Storage, XmlColumn,
 };
+pub use doccache::{CachedDoc, DocCache, LoadedRecord};
 pub use error::{EngineError, Result};
 pub use executor::{PlanCache, QueryExecutor};
 pub use sqlxml::{Output, Session};

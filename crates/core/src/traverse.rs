@@ -12,12 +12,15 @@
 //! so the same visitor drives serialization (ignore the IDs), QuickXScan
 //! re-evaluation (feed `set_current_node`), and value-index maintenance.
 
+use crate::doccache::{CachedDoc, LoadedRecord};
 use crate::error::{EngineError, Result};
-use crate::pack::{read_header, read_nodes, NodeView};
+use crate::pack::{read_nodes, NodeView};
 use crate::xmltable::{subtree_successor, DocId, XmlTable};
+use rx_storage::Rid;
 use rx_xml::event::{Event, EventSink};
 use rx_xml::nodeid::NodeId;
 use rx_xml::value::TypeAnn;
+use std::sync::Arc;
 
 /// A visitor receiving `(node id, event)` pairs from stored-document
 /// traversal. Start/End document and namespace events carry the context/root
@@ -49,56 +52,170 @@ pub struct TraverseStats {
 }
 
 /// Depth-first, document-order traversal of one stored document.
+///
+/// When the XML table carries a document cache and the document has a valid
+/// snapshot, every locate resolves with an in-memory binary search and every
+/// record is an `Arc` clone — zero index probes, zero heap fetches. A full
+/// [`Traverser::run`] over an uncached document builds and publishes a
+/// snapshot read-through (discarded if a writer raced the build).
 pub struct Traverser<'x> {
     xml: &'x XmlTable,
     doc: DocId,
+    cached: Option<Arc<CachedDoc>>,
+    /// Ceiling-probe memo for the cold path: `(probe, upper, record)` of the
+    /// last successful locate. For sorted probe sequences (the NodeID
+    /// no-verify path, nested subtree descents) any probe `p` with
+    /// `last_probe <= p <= upper` must resolve to the same record — there is
+    /// no index entry in `[last_probe, upper)` or the previous ceiling probe
+    /// would have returned it — so consecutive anchors sharing a record cost
+    /// one probe + one fetch instead of one each.
+    memo: Option<(Vec<u8>, Vec<u8>, LoadedRecord)>,
     /// Counters.
     pub stats: TraverseStats,
 }
 
 impl<'x> Traverser<'x> {
-    /// Bind to a document of an XML table.
+    /// Bind to a document of an XML table, adopting a cached snapshot when
+    /// the table's document cache holds a valid one.
     pub fn new(xml: &'x XmlTable, doc: DocId) -> Self {
+        let cached = xml
+            .doc_cache()
+            .filter(|c| c.enabled())
+            .and_then(|c| c.get(xml.space_id(), doc));
         Traverser {
             xml,
             doc,
+            cached,
+            memo: None,
             stats: TraverseStats::default(),
         }
+    }
+
+    /// Fetch + decode one record into shareable form (cold path).
+    fn load(&self, rid: Rid) -> Result<LoadedRecord> {
+        LoadedRecord::decode(self.xml.heap().fetch_arc(rid)?)
+    }
+
+    /// Resolve the record containing `node`: warm from the snapshot, cold
+    /// through the memoized NodeID ceiling probe.
+    fn locate_node(&mut self, node: &NodeId) -> Result<Option<LoadedRecord>> {
+        self.locate_ceil(node.as_bytes())
+    }
+
+    /// Resolve the record owning the first interval upper at-or-above raw
+    /// key bytes (which, for subtree successors, may not be a well-formed
+    /// node ID).
+    fn locate_ceil(&mut self, probe: &[u8]) -> Result<Option<LoadedRecord>> {
+        if let Some(c) = &self.cached {
+            return Ok(c.locate(probe).cloned());
+        }
+        if let Some((lo, hi, rec)) = &self.memo {
+            if probe >= lo.as_slice() && probe <= hi.as_slice() {
+                return Ok(Some(rec.clone()));
+            }
+        }
+        self.stats.index_probes += 1;
+        match self.xml.locate_raw(self.doc, probe)? {
+            Some((upper, rid)) => {
+                self.stats.records_fetched += 1;
+                let rec = self.load(rid)?;
+                self.memo = Some((probe.to_vec(), upper.as_bytes().to_vec(), rec.clone()));
+                Ok(Some(rec))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Attempt a read-through populate: capture a publish token, build a
+    /// snapshot, publish it. A failed publish (a writer raced the build)
+    /// discards the snapshot and leaves the traverser cold.
+    fn try_populate(&mut self) -> Result<()> {
+        if self.cached.is_some() {
+            return Ok(());
+        }
+        let Some(cache) = self.xml.doc_cache().filter(|c| c.enabled()) else {
+            return Ok(());
+        };
+        let Some(token) = cache.begin_publish(self.xml.space_id(), self.doc) else {
+            return Ok(());
+        };
+        if let Some(built) = CachedDoc::build(self.xml, self.doc, &mut self.stats)? {
+            let built = Arc::new(built);
+            if cache.publish(token, Arc::clone(&built)) {
+                self.cached = Some(built);
+            }
+        }
+        Ok(())
     }
 
     /// Traverse the whole document, emitting events (with IDs) into `sink`.
     pub fn run(&mut self, sink: &mut dyn IdEventSink) -> Result<()> {
         let root = NodeId::root();
         sink.id_event(&root, Event::StartDocument)?;
+        // A full traversal reads every record anyway: warm the cache
+        // read-through so the next traversal of this document is free.
+        self.try_populate()?;
         // §3.4: search the NodeID index with (docid, 00).
-        self.stats.index_probes += 1;
-        let Some(rid) = self.xml.locate(self.doc, &root)? else {
+        let Some(rec) = self.locate_node(&root)? else {
             return Err(EngineError::NotFound {
                 kind: "document",
                 name: format!("docid {}", self.doc),
             });
         };
-        self.stats.records_fetched += 1;
-        let row = self.xml.fetch(rid)?;
-        let hdr = read_header(&row.data)?;
-        self.replay_region(&row.data[hdr.body_offset..], &hdr.context, sink)?;
+        self.replay_region(rec.region(), &rec.header().context.clone(), sink)?;
         sink.id_event(&root, Event::EndDocument)
     }
 
     /// Traverse only the subtree rooted at `node` (used to serialize query
     /// results fetched through value indexes).
     pub fn run_subtree(&mut self, node: &NodeId, sink: &mut dyn IdEventSink) -> Result<()> {
-        self.stats.index_probes += 1;
-        let Some(rid) = self.xml.locate(self.doc, node)? else {
+        let Some(rec) = self.locate_node(node)? else {
             return Err(EngineError::NotFound {
                 kind: "node",
                 name: format!("docid {} node {}", self.doc, node),
             });
         };
-        self.stats.records_fetched += 1;
-        let row = self.xml.fetch(rid)?;
-        let hdr = read_header(&row.data)?;
-        self.replay_find(&row.data[hdr.body_offset..], &hdr.context, node, sink)
+        self.replay_find(rec.region(), &rec.header().context.clone(), node, sink)
+    }
+
+    /// The string value of the subtree rooted at `node` (see the module-level
+    /// [`string_value`]); as a method it shares the traverser's snapshot and
+    /// probe memo across calls, so evaluating many anchors of one document
+    /// re-fetches nothing when consecutive anchors live in the same record.
+    pub fn string_value(&mut self, node: &NodeId) -> Result<String> {
+        struct Collect {
+            out: String,
+            root: NodeId,
+        }
+        impl IdEventSink for Collect {
+            fn id_event(&mut self, id: &NodeId, ev: Event<'_>) -> Result<()> {
+                match ev {
+                    Event::Text { value, .. } => self.out.push_str(value),
+                    // Only the target attribute itself contributes its
+                    // value; attributes of descendant elements do not.
+                    Event::Attribute { value, .. } if id == &self.root => {
+                        self.out.push_str(value);
+                    }
+                    _ => {}
+                }
+                Ok(())
+            }
+        }
+        let mut c = Collect {
+            out: String::new(),
+            root: node.clone(),
+        };
+        self.run_subtree(node, &mut c)?;
+        Ok(c.out)
+    }
+
+    /// Look up a single node's kind/value (see the module-level
+    /// [`fetch_node`]), sharing the snapshot and probe memo.
+    pub fn fetch_node(&mut self, node: &NodeId) -> Result<Option<StoredNode>> {
+        let Some(rec) = self.locate_node(node)? else {
+            return Ok(None);
+        };
+        self.find_in_region(rec.region(), &rec.header().context.clone(), node)
     }
 
     /// Replay all sibling entries of a region whose parent is `ctx`.
@@ -188,24 +305,21 @@ impl<'x> Traverser<'x> {
                 let mut remaining = *count;
                 let mut probe: Vec<u8> = ctx.child(first).as_bytes().to_vec();
                 while remaining > 0 {
-                    self.stats.index_probes += 1;
-                    let Some((_, rid)) = self.xml.locate_raw(self.doc, &probe)? else {
+                    let Some(rec) = self.locate_ceil(&probe)? else {
                         return Err(EngineError::Record(format!(
                             "dangling proxy: no record covers doc {} id {:02x?}",
                             self.doc, probe
                         )));
                     };
-                    self.stats.records_fetched += 1;
-                    let row = self.xml.fetch(rid)?;
-                    let hdr = read_header(&row.data)?;
-                    if &hdr.context != ctx {
+                    if &rec.header().context != ctx {
                         return Err(EngineError::Record(format!(
                             "proxy resolution landed on record with context {} (expected {})",
-                            hdr.context, ctx
+                            rec.header().context,
+                            ctx
                         )));
                     }
                     let mut last_root: Option<NodeId> = None;
-                    for entry in read_nodes(&row.data[hdr.body_offset..]) {
+                    for entry in read_nodes(rec.region()) {
                         let entry = entry?;
                         if remaining == 0 {
                             break;
@@ -255,19 +369,15 @@ impl<'x> Traverser<'x> {
                     let in_range = target >= &first_abs
                         && target.as_bytes() < subtree_successor(&last_abs).as_slice();
                     if in_range {
-                        self.stats.index_probes += 1;
-                        let Some(rid) = self.xml.locate(self.doc, target)? else {
+                        let Some(rec) = self.locate_node(target)? else {
                             return Err(EngineError::NotFound {
                                 kind: "node",
                                 name: format!("docid {} node {target}", self.doc),
                             });
                         };
-                        self.stats.records_fetched += 1;
-                        let row = self.xml.fetch(rid)?;
-                        let hdr = read_header(&row.data)?;
                         return self.replay_find(
-                            &row.data[hdr.body_offset..],
-                            &hdr.context,
+                            rec.region(),
+                            &rec.header().context.clone(),
                             target,
                             sink,
                         );
@@ -297,36 +407,81 @@ impl<'x> Traverser<'x> {
             name: format!("docid {} node {target}", self.doc),
         })
     }
+
+    /// Locate `target` within a region and decode just that node.
+    fn find_in_region(
+        &mut self,
+        region: &[u8],
+        ctx: &NodeId,
+        target: &NodeId,
+    ) -> Result<Option<StoredNode>> {
+        for entry in read_nodes(region) {
+            let entry = entry?;
+            match &entry {
+                NodeView::Proxy { first, last, .. } => {
+                    let first_abs = ctx.child(first);
+                    let last_abs = ctx.child(last);
+                    if target >= &first_abs
+                        && target.as_bytes() < subtree_successor(&last_abs).as_slice()
+                    {
+                        // The target lives in another record; locate from
+                        // the top again (the ceiling probe is exact).
+                        let Some(rec) = self.locate_node(target)? else {
+                            return Ok(None);
+                        };
+                        return self.find_in_region(
+                            rec.region(),
+                            &rec.header().context.clone(),
+                            target,
+                        );
+                    }
+                }
+                other => {
+                    let abs = ctx.child(other.rel());
+                    if &abs == target {
+                        return Ok(Some(match other {
+                            NodeView::Element { name, .. } => StoredNode::Element { name: *name },
+                            NodeView::Attribute {
+                                name, ann, value, ..
+                            } => StoredNode::Attribute {
+                                name: *name,
+                                value: (*value).to_string(),
+                                ann: *ann,
+                            },
+                            NodeView::Text { ann, value, .. } => StoredNode::Text {
+                                value: (*value).to_string(),
+                                ann: *ann,
+                            },
+                            NodeView::Comment { value, .. } => StoredNode::Comment {
+                                value: (*value).to_string(),
+                            },
+                            NodeView::Pi {
+                                target: t, value, ..
+                            } => StoredNode::Pi {
+                                target: *t,
+                                value: (*value).to_string(),
+                            },
+                            NodeView::Proxy { .. } => unreachable!(),
+                        }));
+                    }
+                    if abs.is_ancestor(target) {
+                        if let NodeView::Element { content, .. } = &entry {
+                            return self.find_in_region(content, &abs, target);
+                        }
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
 }
 
 /// The string value of the subtree rooted at `node`: concatenated descendant
 /// *text* (attributes of descendant elements are excluded, per the XDM);
 /// for an attribute node itself, the attribute value.
 pub fn string_value(xml: &XmlTable, doc: DocId, node: &NodeId) -> Result<String> {
-    struct Collect {
-        out: String,
-        root: NodeId,
-    }
-    impl IdEventSink for Collect {
-        fn id_event(&mut self, id: &NodeId, ev: Event<'_>) -> Result<()> {
-            match ev {
-                Event::Text { value, .. } => self.out.push_str(value),
-                // Only the target attribute itself contributes its value;
-                // attributes of descendant elements do not.
-                Event::Attribute { value, .. } if id == &self.root => {
-                    self.out.push_str(value);
-                }
-                _ => {}
-            }
-            Ok(())
-        }
-    }
-    let mut c = Collect {
-        out: String::new(),
-        root: node.clone(),
-    };
-    Traverser::new(xml, doc).run_subtree(node, &mut c)?;
-    Ok(c.out)
+    Traverser::new(xml, doc).string_value(node)
 }
 
 /// Fetch one node's kind/value without replaying its whole subtree (the
@@ -371,84 +526,7 @@ pub enum StoredNode {
 /// Look up a single node by `(docid, nodeid)` — the access path used when an
 /// XPath value index hands back a logical node reference (§3.4).
 pub fn fetch_node(xml: &XmlTable, doc: DocId, node: &NodeId) -> Result<Option<StoredNode>> {
-    let Some(rid) = xml.locate(doc, node)? else {
-        return Ok(None);
-    };
-    let row = xml.fetch(rid)?;
-    let hdr = read_header(&row.data)?;
-    find_in_region(xml, doc, &row.data[hdr.body_offset..], &hdr.context, node)
-}
-
-fn find_in_region(
-    xml: &XmlTable,
-    doc: DocId,
-    region: &[u8],
-    ctx: &NodeId,
-    target: &NodeId,
-) -> Result<Option<StoredNode>> {
-    for entry in read_nodes(region) {
-        let entry = entry?;
-        match &entry {
-            NodeView::Proxy { first, last, .. } => {
-                let first_abs = ctx.child(first);
-                let last_abs = ctx.child(last);
-                if target >= &first_abs
-                    && target.as_bytes() < subtree_successor(&last_abs).as_slice()
-                {
-                    // The target lives in another record; locate() from the
-                    // top again (the index probe is exact).
-                    let Some(rid) = xml.locate(doc, target)? else {
-                        return Ok(None);
-                    };
-                    let row = xml.fetch(rid)?;
-                    let hdr = read_header(&row.data)?;
-                    return find_in_region(
-                        xml,
-                        doc,
-                        &row.data[hdr.body_offset..],
-                        &hdr.context,
-                        target,
-                    );
-                }
-            }
-            other => {
-                let abs = ctx.child(other.rel());
-                if &abs == target {
-                    return Ok(Some(match other {
-                        NodeView::Element { name, .. } => StoredNode::Element { name: *name },
-                        NodeView::Attribute {
-                            name, ann, value, ..
-                        } => StoredNode::Attribute {
-                            name: *name,
-                            value: (*value).to_string(),
-                            ann: *ann,
-                        },
-                        NodeView::Text { ann, value, .. } => StoredNode::Text {
-                            value: (*value).to_string(),
-                            ann: *ann,
-                        },
-                        NodeView::Comment { value, .. } => StoredNode::Comment {
-                            value: (*value).to_string(),
-                        },
-                        NodeView::Pi {
-                            target: t, value, ..
-                        } => StoredNode::Pi {
-                            target: *t,
-                            value: (*value).to_string(),
-                        },
-                        NodeView::Proxy { .. } => unreachable!(),
-                    }));
-                }
-                if abs.is_ancestor(target) {
-                    if let NodeView::Element { content, .. } = &entry {
-                        return find_in_region(xml, doc, content, &abs, target);
-                    }
-                    return Ok(None);
-                }
-            }
-        }
-    }
-    Ok(None)
+    Traverser::new(xml, doc).fetch_node(node)
 }
 
 #[cfg(test)]

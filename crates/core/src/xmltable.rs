@@ -13,13 +13,14 @@
 //! `(DocID big-endian, NodeID bytes)` — both live entirely on the relational
 //! infrastructure, which is the paper's point.
 
+use crate::doccache::DocCache;
 use crate::error::Result;
 use crate::pack::PackedRecord;
 use rx_storage::codec::{Dec, Enc};
 use rx_storage::wal::LogRecord;
 use rx_storage::{BTree, HeapTable, Rid, TableSpace, Txn};
 use rx_xml::nodeid::NodeId;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Document identifier (the implicit DocID column of §3.1).
 pub type DocId = u64;
@@ -92,6 +93,13 @@ pub fn decode_row(rec: &[u8]) -> Result<XmlRow> {
     })
 }
 
+/// The byte range of the XMLData payload within an encoded row — the
+/// zero-copy complement of [`decode_row`] used by the document cache and
+/// the traverser's shared-record path.
+pub fn decode_row_data_range(rec: &[u8]) -> Result<std::ops::Range<usize>> {
+    crate::doccache::row_data_range(rec)
+}
+
 /// The internal XML table: heap of packed records + NodeID index, sharing
 /// one table space.
 pub struct XmlTable {
@@ -105,6 +113,11 @@ pub struct XmlTable {
     /// it is held only for the duration of one edit, unlike the subtree
     /// locks, which are held to commit.
     edit_latch: parking_lot::Mutex<()>,
+    /// The database's document record cache, when this table belongs to a
+    /// [`crate::db::Database`] with `doc_cache_bytes > 0`. Every mutator
+    /// notifies it (`touch`) so cached snapshots are invalidated before any
+    /// uncommitted byte lands in the heap.
+    doc_cache: OnceLock<Arc<DocCache>>,
 }
 
 impl XmlTable {
@@ -118,6 +131,7 @@ impl XmlTable {
             nodeid_index,
             space_id,
             edit_latch: parking_lot::Mutex::new(()),
+            doc_cache: OnceLock::new(),
         })
     }
 
@@ -131,6 +145,7 @@ impl XmlTable {
             nodeid_index,
             space_id,
             edit_latch: parking_lot::Mutex::new(()),
+            doc_cache: OnceLock::new(),
         })
     }
 
@@ -154,9 +169,31 @@ impl XmlTable {
         self.edit_latch.lock()
     }
 
+    /// Attach the database's document record cache. First attachment wins;
+    /// tables constructed outside a [`crate::db::Database`] never have one
+    /// and always take the cold read path.
+    pub fn set_doc_cache(&self, cache: Arc<DocCache>) {
+        let _ = self.doc_cache.set(cache);
+    }
+
+    /// The attached document record cache, if any.
+    pub fn doc_cache(&self) -> Option<&Arc<DocCache>> {
+        self.doc_cache.get()
+    }
+
+    /// Notify the cache that `txn` is mutating `doc`: evicts any cached
+    /// snapshot and bumps the document's epoch *before* the mutation's bytes
+    /// reach the heap, so no reader can publish a snapshot spanning them.
+    fn touch_cache(&self, txn: &Txn, doc: DocId) {
+        if let Some(cache) = self.doc_cache.get() {
+            cache.touch(txn, self.space_id, doc);
+        }
+    }
+
     /// Store one packed record of document `doc`, maintaining the NodeID
     /// index, WAL, and undo chain. Returns the record's RID.
     pub fn insert_record(&self, txn: &Txn, doc: DocId, rec: &PackedRecord) -> Result<Rid> {
+        self.touch_cache(txn, doc);
         let row = encode_row(doc, &rec.min_id, &rec.bytes);
         let rid = self.heap.insert(&row)?;
         txn.log(&LogRecord::HeapInsert {
@@ -269,6 +306,7 @@ impl XmlTable {
 
     /// Delete every record and NodeID-index entry of document `doc`.
     pub fn delete_document(&self, txn: &Txn, doc: DocId) -> Result<()> {
+        self.touch_cache(txn, doc);
         // Collect entries first (scan holds the tree latch).
         let mut entries: Vec<(Vec<u8>, Rid)> = Vec::new();
         self.nodeid_index.scan_prefix(&doc.to_be_bytes(), |k, v| {
@@ -332,6 +370,7 @@ impl XmlTable {
     /// Remove a set of NodeID-index entries (stale interval uppers of a
     /// record about to be rewritten). Logged and undoable.
     pub fn delete_uppers(&self, txn: &Txn, doc: DocId, uppers: &[NodeId]) -> Result<()> {
+        self.touch_cache(txn, doc);
         for upper in uppers {
             let key = nodeid_key(doc, upper);
             if let Some(v) = self.nodeid_index.delete(&key)? {
@@ -372,6 +411,7 @@ impl XmlTable {
         rec: &PackedRecord,
         old_uppers: &[NodeId],
     ) -> Result<Rid> {
+        self.touch_cache(txn, doc);
         let before = self.heap.fetch(rid)?;
         let row = encode_row(doc, &rec.min_id, &rec.bytes);
         let new_rid = self.heap.update(rid, &row)?;

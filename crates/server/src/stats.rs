@@ -219,7 +219,11 @@ impl StatsSnapshot {
             .u64(d.parallel_queries)
             .u64(d.plan_cache_hits)
             .u64(d.plan_cache_misses)
-            .u64(d.plan_cache_entries);
+            .u64(d.plan_cache_entries)
+            .u64(d.doc_cache_hits)
+            .u64(d.doc_cache_misses)
+            .u64(d.doc_cache_evictions)
+            .u64(d.doc_cache_bytes);
     }
 
     /// Decode the wire encoding.
@@ -271,6 +275,10 @@ impl StatsSnapshot {
         db.plan_cache_hits = next()?;
         db.plan_cache_misses = next()?;
         db.plan_cache_entries = next()?;
+        db.doc_cache_hits = next()?;
+        db.doc_cache_misses = next()?;
+        db.doc_cache_evictions = next()?;
+        db.doc_cache_bytes = next()?;
         Ok(s)
     }
 }
@@ -329,6 +337,10 @@ mod tests {
         s.db.plan_cache_hits = 30;
         s.db.plan_cache_misses = 4;
         s.db.plan_cache_entries = 4;
+        s.db.doc_cache_hits = 17;
+        s.db.doc_cache_misses = 3;
+        s.db.doc_cache_evictions = 2;
+        s.db.doc_cache_bytes = 65536;
         let mut e = Enc::new();
         s.encode(&mut e);
         let bytes = e.into_bytes();

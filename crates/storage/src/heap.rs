@@ -119,6 +119,21 @@ impl HeapTable {
             })
     }
 
+    /// Fetch a record into a shareable allocation: one copy out of the
+    /// latched page, after which the bytes can be handed to any number of
+    /// readers (e.g. a document cache) without further copying.
+    pub fn fetch_arc(&self, rid: Rid) -> Result<Arc<[u8]>> {
+        let g = self.space.fetch(rid.page)?;
+        let p = g.read();
+        p.get(rid.slot)
+            .map(Arc::<[u8]>::from)
+            .ok_or(StorageError::RecordNotFound {
+                space: self.space.id(),
+                page: rid.page,
+                slot: rid.slot,
+            })
+    }
+
     /// Apply `f` to a record without copying it out of the page.
     pub fn with_record<T>(&self, rid: Rid, f: impl FnOnce(&[u8]) -> T) -> Result<T> {
         let g = self.space.fetch(rid.page)?;
@@ -262,6 +277,23 @@ mod tests {
         h.delete(r).unwrap();
         assert!(matches!(
             h.fetch(r),
+            Err(StorageError::RecordNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn fetch_arc_shares_one_copy() {
+        let h = heap();
+        let r = h.insert(b"shared record").unwrap();
+        let a = h.fetch_arc(r).unwrap();
+        let b = Arc::clone(&a);
+        assert_eq!(&*a, b"shared record");
+        assert_eq!(Arc::strong_count(&b), 2);
+        h.delete(r).unwrap();
+        // The shared copy outlives the heap record.
+        assert_eq!(&*b, b"shared record");
+        assert!(matches!(
+            h.fetch_arc(r),
             Err(StorageError::RecordNotFound { .. })
         ));
     }

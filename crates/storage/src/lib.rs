@@ -48,5 +48,5 @@ pub use lock::{LockManager, LockMode, LockName};
 pub use page::{Page, PageType, MAX_RECORD_SIZE, PAGE_SIZE};
 pub use rid::Rid;
 pub use space::TableSpace;
-pub use txn::{Txn, TxnManager, UndoCtx};
+pub use txn::{Txn, TxnHook, TxnManager, UndoCtx};
 pub use wal::{recover, LogRecord, RecoveryEnv, TxnId, Wal};

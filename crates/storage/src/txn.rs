@@ -48,11 +48,17 @@ impl UndoCtx<'_> {
 /// applies.
 pub type UndoAction = Box<dyn FnOnce(&UndoCtx<'_>) -> Result<()> + Send>;
 
+/// An outcome hook registered with [`Txn::push_hook`]: runs exactly once when
+/// the transaction finishes, with `true` on commit (after the commit record
+/// is durable and locks are released) and `false` on rollback or drop.
+pub type TxnHook = Box<dyn FnOnce(bool) + Send>;
+
 struct TxnState {
     /// LSN of the transaction's Begin record (the undo keep-floor a
     /// checkpoint must not truncate past while the txn is in flight).
     begin_lsn: Lsn,
     undo: Vec<UndoAction>,
+    hooks: Vec<TxnHook>,
 }
 
 /// Allocates transaction ids and tracks active transactions.
@@ -93,6 +99,7 @@ impl TxnManager {
             TxnState {
                 begin_lsn,
                 undo: Vec::new(),
+                hooks: Vec::new(),
             },
         );
         Ok(Txn {
@@ -114,9 +121,18 @@ impl TxnManager {
         self.active.lock().values().map(|s| s.begin_lsn).min()
     }
 
-    fn finish(&self, id: TxnId) {
-        self.active.lock().remove(&id);
+    /// Remove the transaction and release its locks; the caller runs the
+    /// returned outcome hooks *after* locks are released, so a hook (e.g. a
+    /// cache epoch bump) observes the post-transaction lock state.
+    fn finish(&self, id: TxnId) -> Vec<TxnHook> {
+        let hooks = self
+            .active
+            .lock()
+            .remove(&id)
+            .map(|st| st.hooks)
+            .unwrap_or_default();
         self.locks.unlock_all(id);
+        hooks
     }
 }
 
@@ -147,6 +163,16 @@ impl Txn {
         }
     }
 
+    /// Register an outcome hook: runs once when the transaction finishes,
+    /// with `committed = true` only after the commit record is durable and
+    /// locks are released.
+    pub fn push_hook(&self, hook: TxnHook) {
+        let mut active = self.mgr.active.lock();
+        if let Some(st) = active.get_mut(&self.id) {
+            st.hooks.push(hook);
+        }
+    }
+
     /// Acquire a lock for this transaction (blocking).
     pub fn lock(&self, name: &LockName, mode: LockMode) -> Result<()> {
         self.mgr.locks.lock(self.id, name, mode)
@@ -163,8 +189,11 @@ impl Txn {
         if !self.finished {
             let lsn = self.mgr.wal.log(&LogRecord::Commit { txn: self.id })?;
             self.mgr.wal.wait_durable(lsn)?;
-            self.mgr.finish(self.id);
+            let hooks = self.mgr.finish(self.id);
             self.finished = true;
+            for h in hooks {
+                h(true);
+            }
         }
         Ok(())
     }
@@ -197,8 +226,11 @@ impl Txn {
         }
         let lsn = self.mgr.wal.log(&LogRecord::Abort { txn: self.id })?;
         self.mgr.wal.wait_durable(lsn)?;
-        self.mgr.finish(self.id);
+        let hooks = self.mgr.finish(self.id);
         self.finished = true;
+        for h in hooks {
+            h(false);
+        }
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),
@@ -275,6 +307,42 @@ mod tests {
         assert_eq!(m.active_count(), 0);
         let recs = m.wal().read_records().unwrap();
         assert!(recs.iter().any(|r| matches!(r, LogRecord::Abort { .. })));
+    }
+
+    #[test]
+    fn hooks_run_with_outcome() {
+        let m = mgr();
+        let outcome = Arc::new(Mutex::new(Vec::new()));
+        // Commit path: hook sees true, after locks are released.
+        let t = m.begin().unwrap();
+        t.lock(&LockName::Table(1), LockMode::X).unwrap();
+        let id = t.id();
+        {
+            let outcome = outcome.clone();
+            let locks = Arc::clone(m.locks());
+            t.push_hook(Box::new(move |committed| {
+                outcome.lock().push((committed, locks.held_count(id)));
+            }));
+        }
+        t.commit().unwrap();
+        // Rollback path: hook sees false.
+        let t = m.begin().unwrap();
+        {
+            let outcome = outcome.clone();
+            t.push_hook(Box::new(move |committed| {
+                outcome.lock().push((committed, 0));
+            }));
+        }
+        t.rollback().unwrap();
+        // Drop path: hook sees false.
+        {
+            let t = m.begin().unwrap();
+            let outcome = outcome.clone();
+            t.push_hook(Box::new(move |committed| {
+                outcome.lock().push((committed, 0));
+            }));
+        }
+        assert_eq!(*outcome.lock(), vec![(true, 0), (false, 0), (false, 0)]);
     }
 
     #[test]
